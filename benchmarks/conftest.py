@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts its
+qualitative shape, and saves the rendered table under
+``benchmarks/results/`` so a full ``pytest benchmarks/ --benchmark-only``
+leaves the complete reproduction record on disk (EXPERIMENTS.md is built
+from those files).
+
+Benchmarks default to laptop-scale parameters (n in the hundreds, 2
+seeds). Set ``REPRO_PAPER_SCALE=1`` to run the paper's full n=2500 grid.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper-scale toggle: n=2500 like the paper (slow) vs laptop default.
+PAPER_SCALE = bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+
+FIG_N = 2500 if PAPER_SCALE else 600
+FIG9_N = 2000 if PAPER_SCALE else 600
+SEEDS = range(5) if PAPER_SCALE else range(2)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Persist a rendered ExperimentTable and echo it into the bench log."""
+
+    def _save(name: str, table) -> None:
+        text = table.render()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save

@@ -1,0 +1,23 @@
+"""Ablation: Step 1 on/off and in-network data fusion."""
+
+from repro.experiments import ablations
+
+from conftest import FIG_N
+
+
+def test_aggregation_ablation(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: ablations.run_fusion(
+            n=min(FIG_N, 400), density=12.0, seed=0,
+            n_events=8, reporters_per_event=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_aggregation", table)
+    tx = {row[0]: int(row[1]) for row in table.rows}
+    delivered = {row[0]: row[2] for row in table.rows}
+    # Fusion cuts transmissions materially...
+    assert tx["step1 off + duplicate fusion"] < 0.6 * tx["step1 off, no fusion"]
+    # ...without losing any event.
+    assert all(v.startswith("8/") for v in delivered.values())

@@ -1,0 +1,20 @@
+"""Ablation: implicit vs explicit Step-1 counters."""
+
+from repro.experiments import ablations
+
+from conftest import FIG_N
+
+
+def test_counter_mode_ablation(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: ablations.run_counter_mode(n=min(FIG_N, 300), density=12.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_counter_mode", table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Implicit counters are cheaper on the air...
+    assert float(rows["implicit"][0]) < float(rows["explicit"][0])
+    # ...but only explicit mode survives a desync beyond the window.
+    assert rows["implicit"][1] == "False"
+    assert rows["explicit"][1] == "True"

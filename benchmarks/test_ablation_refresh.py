@@ -1,0 +1,22 @@
+"""Ablation: hash-based vs recluster key refresh."""
+
+from repro.experiments import ablations
+
+from conftest import FIG_N
+
+
+def test_refresh_ablation(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: ablations.run_refresh(n=min(FIG_N, 400), density=12.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_refresh", table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Hash refresh is free; recluster costs one broadcast per holder.
+    assert int(rows["rehash"][0]) == 0
+    assert int(rows["recluster"][0]) > 0
+    # Both invalidate stolen keys and keep the data plane alive.
+    for strategy in ("rehash", "recluster"):
+        assert rows[strategy][1] == "False"
+        assert rows[strategy][2] == "True"

@@ -1,0 +1,20 @@
+"""Ablation: clusterhead-election timer distribution."""
+
+from repro.experiments import ablations
+
+from conftest import FIG_N, SEEDS
+
+
+def test_timer_ablation(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: ablations.run_timer(
+            means=(0.05, 0.2, 0.5, 1.0), n=min(FIG_N, 600), density=10.0, seeds=SEEDS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_timer", table)
+    singles = [float(row[1]) for row in table.rows]
+    # The paper's remark: singletons are "minimized by the right
+    # exponential distribution" — slower timers give fewer singletons.
+    assert singles[-1] < singles[0]

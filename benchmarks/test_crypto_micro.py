@@ -1,0 +1,55 @@
+"""Crypto microbenchmarks.
+
+Supports the paper's premise ([3]): symmetric primitives are the right
+tool for motes. These are real pytest-benchmark timings (multiple rounds)
+of the from-scratch primitives on sensor-sized payloads.
+"""
+
+import pytest
+
+from repro.crypto import (
+    Speck64_128,
+    Xtea,
+    ctr_encrypt,
+    get_cipher,
+    hmac_sha256,
+    mac,
+    seal,
+    sha256,
+    sha256_fast,
+)
+
+KEY = bytes(range(16))
+PAYLOAD = bytes(range(41))  # a TinySec-sized sensor frame
+
+
+@pytest.mark.parametrize("cipher_cls", [Speck64_128, Xtea], ids=lambda c: c.name)
+def test_block_encrypt(benchmark, cipher_cls):
+    cipher = cipher_cls(KEY)
+    block = bytes(8)
+    benchmark(cipher.encrypt_block, block)
+
+
+def test_ctr_frame_encrypt(benchmark):
+    cipher = get_cipher("speck64/128", KEY)
+    benchmark(ctr_encrypt, cipher, 7, PAYLOAD)
+
+
+def test_hmac_frame(benchmark):
+    benchmark(hmac_sha256, KEY, PAYLOAD)
+
+
+def test_truncated_mac_frame(benchmark):
+    benchmark(mac, KEY, PAYLOAD)
+
+
+def test_seal_frame(benchmark):
+    benchmark(seal, KEY, 7, PAYLOAD)
+
+
+def test_pure_python_sha256(benchmark):
+    benchmark(sha256, PAYLOAD)
+
+
+def test_fast_sha256(benchmark):
+    benchmark(sha256_fast, PAYLOAD)

@@ -1,0 +1,34 @@
+"""Sec. II energy claims: setup cost and fusion savings in microjoules."""
+
+from repro.experiments import energy_cost
+
+from conftest import FIG_N, SEEDS
+
+
+def test_setup_energy(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: energy_cost.run_setup_cost(
+            densities=(8.0, 12.5, 20.0), n=min(FIG_N, 400), seeds=SEEDS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("energy_setup_cost", table)
+    for row in table.rows:
+        # Setup costs a few frames' worth of energy (well under 100 mJ)
+        # and is dominated by the radio.
+        assert float(row[1]) < 100_000
+        assert float(row[3]) > 0.95
+
+
+def test_reporting_energy(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: energy_cost.run_reporting_cost(n=min(FIG_N, 300), density=12.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("energy_reporting_cost", table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Fusion must cut per-event energy materially and extend lifetime.
+    assert float(rows["duplicate fusion"][0]) < 0.7 * float(rows["no fusion"][0])
+    assert float(rows["duplicate fusion"][1]) > float(rows["no fusion"][1])

@@ -1,0 +1,23 @@
+"""Figure 1: distribution of nodes to clusters (densities 8 and 20)."""
+
+from repro.experiments import fig1_cluster_distribution
+
+from conftest import FIG_N, SEEDS
+
+
+def test_fig1(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: fig1_cluster_distribution.run(densities=(8.0, 20.0), n=FIG_N, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig1_cluster_distribution", table)
+    share = table.rows[-1]
+    assert share[0] == "size-1 node share"
+    # Paper shape: the share of nodes in singleton clusters shrinks as
+    # density grows.
+    assert float(share[2]) < float(share[1])
+    # The size rows form a distribution (sum ~1 per density column; cells
+    # are rendered to 3 decimals, so allow the rounding residue).
+    for col in (1, 2):
+        assert abs(sum(float(r[col]) for r in table.rows[:-1]) - 1.0) < 0.01

@@ -1,0 +1,23 @@
+"""Figure 6: average cluster keys per node vs density."""
+
+from repro.experiments import fig6_keys_per_node
+
+from conftest import FIG_N, SEEDS
+
+DENSITIES = (8.0, 10.0, 12.5, 15.0, 17.5, 20.0)
+
+
+def test_fig6(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: fig6_keys_per_node.run(densities=DENSITIES, n=FIG_N, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig6_keys_per_node", table)
+    keys = [float(x) for x in table.column("keys/node")]
+    # Paper shape: small values, slow monotonic-ish growth with density.
+    assert keys[0] < keys[-1]
+    assert 1.5 < keys[0] < 4.0  # paper: ~2.5 at density 8
+    assert 2.5 < keys[-1] < 6.5  # paper: ~4.5 at density 20
+    # Sub-linear growth: 2.5x the density buys < 2.5x the keys.
+    assert keys[-1] / keys[0] < 2.5

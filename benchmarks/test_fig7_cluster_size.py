@@ -1,0 +1,21 @@
+"""Figure 7: average nodes per cluster vs density."""
+
+from repro.experiments import fig7_cluster_size
+
+from conftest import FIG_N, SEEDS
+
+DENSITIES = (8.0, 10.0, 12.5, 15.0, 17.5, 20.0)
+
+
+def test_fig7(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: fig7_cluster_size.run(densities=DENSITIES, n=FIG_N, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig7_cluster_size", table)
+    sizes = [float(x) for x in table.column("nodes/cluster")]
+    # Paper shape: grows with density, stays small (~4.3 -> ~9).
+    assert all(a < b for a, b in zip(sizes, sizes[1:]))
+    assert 3.0 < sizes[0] < 6.5
+    assert 7.0 < sizes[-1] < 12.0

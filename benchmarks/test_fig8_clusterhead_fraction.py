@@ -1,0 +1,21 @@
+"""Figure 8: clusterheads / network size vs density."""
+
+from repro.experiments import fig8_clusterhead_fraction
+
+from conftest import FIG_N, SEEDS
+
+DENSITIES = (8.0, 10.0, 12.5, 15.0, 17.5, 20.0)
+
+
+def test_fig8(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: fig8_clusterhead_fraction.run(densities=DENSITIES, n=FIG_N, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig8_clusterhead_fraction", table)
+    heads = [float(x) for x in table.column("head fraction")]
+    # Paper shape: monotonically decreasing, ~0.23 at d=8 to ~0.11 at d=20.
+    assert all(a > b for a, b in zip(heads, heads[1:]))
+    assert 0.17 < heads[0] < 0.30
+    assert 0.08 < heads[-1] < 0.15

@@ -1,0 +1,24 @@
+"""Figure 9: key-setup messages per node vs density (paper n=2000)."""
+
+from repro.experiments import fig9_setup_messages
+
+from conftest import FIG9_N, SEEDS
+
+DENSITIES = (8.0, 10.0, 12.5, 15.0, 17.5, 20.0)
+
+
+def test_fig9(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: fig9_setup_messages.run(densities=DENSITIES, n=FIG9_N, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig9_setup_messages", table)
+    msgs = [float(x) for x in table.column("msgs/node")]
+    # Paper shape: a narrow band slightly above 1, decreasing with density
+    # (paper: 1.22 at d=8 down to 1.08 at d=20).
+    assert all(a > b for a, b in zip(msgs, msgs[1:]))
+    assert 1.15 < msgs[0] < 1.30
+    assert 1.05 < msgs[-1] < 1.16
+    # Internal identity: exactly one LINKINFO per node.
+    assert all(abs(float(x) - 1.0) < 1e-9 for x in table.column("linkinfo/node"))

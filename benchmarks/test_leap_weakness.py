@@ -1,0 +1,22 @@
+"""Section III: the LEAP HELLO-flood weakness."""
+
+from repro.experiments import leap_weakness
+
+from conftest import FIG_N
+
+
+def test_leap_hello_flood(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: leap_weakness.run(n=FIG_N, density=12.5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("leap_weakness", table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Paper claim: the flooded LEAP victim ends up with keys shared with
+    # (essentially) every node in the network.
+    assert int(rows["leap"][2]) == FIG_N - 1
+    assert int(rows["leap"][1]) > 5 * int(rows["leap"][0])
+    # This paper's protocol is unaffected: one cluster, no per-id keys.
+    assert int(rows["this-paper"][2]) == 0
+    assert rows["this-paper"][0] == rows["this-paper"][1]

@@ -1,0 +1,22 @@
+"""Extension: data-plane delivery/latency under offered load."""
+
+from repro.experiments import load_delivery
+
+from conftest import FIG_N
+
+
+def test_load_delivery(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: load_delivery.run(
+            periods_s=(20.0, 2.0, 1.0), n=min(FIG_N, 250), density=12.0, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("load_delivery", table)
+    delivery = [float(r[2]) for r in table.rows]
+    # High at light load, decaying monotonically as the channel saturates.
+    assert delivery[0] > 0.85
+    assert delivery[0] > delivery[-1]
+    # Latencies are sub-second medians at every load.
+    assert all(float(r[3]) < 1.0 for r in table.rows)

@@ -1,0 +1,29 @@
+"""Sec. III context: live E-G connectivity/storage vs this paper."""
+
+from repro.experiments import randkp_connectivity
+
+from conftest import FIG_N
+
+
+def test_randkp_connectivity(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: randkp_connectivity.run(
+            ring_sizes=(15, 25, 40), n=min(FIG_N, 200), density=12.0, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("randkp_connectivity", table)
+    rows = table.rows
+    eg_rows = [r for r in rows if r[0].startswith("E-G")]
+    # Live measurements track the closed-form prediction...
+    for row in eg_rows:
+        assert abs(float(row[1]) - float(row[2])) < 0.08
+    # ...direct connectivity grows with ring size...
+    direct = [float(r[1]) for r in eg_rows]
+    assert direct == sorted(direct)
+    # ...path keys only add links...
+    assert all(float(r[3]) >= float(r[1]) for r in eg_rows)
+    # ...and E-G's storage dwarfs this paper's at comparable coverage.
+    ours = next(r for r in rows if r[0] == "this-paper")
+    assert all(float(r[4]) > 3 * float(ours[4]) for r in eg_rows)

@@ -1,0 +1,40 @@
+"""Secs. II/VI resilience claims: global metric and locality profile."""
+
+from repro.experiments import resilience
+
+from conftest import FIG_N
+
+
+def test_resilience_vs_captures(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: resilience.run(n=FIG_N, density=12.5, seed=0,
+                               capture_counts=(1, 5, 10, 25, 50)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("resilience_vs_captures", table)
+    rows = {row[0]: [float(x) for x in row[1:]] for row in table.rows}
+    # Paper shape: global key is totally broken at one capture.
+    assert all(v == 1.0 for v in rows["global-key"])
+    # E-G/q-composite exposure grows with captures.
+    eg = rows["eschenauer-gligor"]
+    assert eg[0] < eg[-1]
+    # One capture exposes only this paper's local patch (the global
+    # fraction shrinks as 1/n — keys are localized).
+    assert rows["this-paper"][0] < 0.15
+
+
+def test_compromise_locality(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: resilience.run_locality(n=FIG_N, density=12.5, seed=0, max_hops=8),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("compromise_locality", table)
+    rows = {row[0]: [float(x) for x in row[1:]] for row in table.rows}
+    ours = rows["this-paper"]
+    # The headline: our compromise collapses to zero beyond ~3 hops...
+    assert all(f == 0.0 for f in ours[4:])
+    assert ours[0] > 0.0
+    # ...while random predistribution leaks at any distance.
+    assert any(f > 0.0 for f in rows["eschenauer-gligor"][4:])

@@ -1,0 +1,25 @@
+"""Section V scale-invariance claim: per-node metrics flat in n."""
+
+from repro.experiments import scale_invariance
+
+from conftest import PAPER_SCALE, SEEDS
+
+SIZES = (500, 2000, 8000) if PAPER_SCALE else (300, 900, 2700)
+
+
+def test_scale_invariance(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: scale_invariance.run(sizes=SIZES, density=12.5, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("scale_invariance", table)
+    keys = [float(x) for x in table.column("keys/node")]
+    heads = [float(x) for x in table.column("head fraction")]
+    msgs = [float(x) for x in table.column("msgs/node")]
+    # 9x the nodes moves each per-node metric by only a small margin
+    # ("the curves matched exactly, modulo some small statistical
+    # deviation").
+    assert max(keys) - min(keys) < 0.6
+    assert max(heads) - min(heads) < 0.04
+    assert max(msgs) - min(msgs) < 0.04

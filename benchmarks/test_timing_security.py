@@ -1,0 +1,21 @@
+"""Secs. IV-B/VI: the K_m exposure window vs capture time."""
+
+from repro.experiments import timing_security
+
+from conftest import FIG_N, SEEDS
+
+
+def test_km_window(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: timing_security.run(densities=(8.0, 12.5, 20.0),
+                                    n=min(FIG_N, 500), seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("timing_security", table)
+    for row in table.rows:
+        last_tx, erased_at, capture = float(row[1]), float(row[2]), float(row[3])
+        # Radio activity of setup ends before the scheduled erasure...
+        assert last_tx < erased_at
+        # ...and the whole window closes well before a capture completes.
+        assert erased_at < capture

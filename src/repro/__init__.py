@@ -1,0 +1,22 @@
+"""repro — reproduction of Dimitriou & Krontiris (IPPS 2005),
+"A Localized, Distributed Protocol for Secure Information Exchange in
+Sensor Networks".
+
+Public surface:
+
+* :class:`repro.SecureSensorNetwork` — deploy / send / maintain facade;
+* :mod:`repro.protocol` — the protocol itself (agents, setup, metrics);
+* :mod:`repro.sim` — the discrete-event sensor-network simulator;
+* :mod:`repro.crypto` — the from-scratch symmetric crypto substrate;
+* :mod:`repro.baselines` — comparison schemes (global key, pairwise,
+  random key predistribution, q-composite, LEAP);
+* :mod:`repro.attacks` — the Section-VI adversary toolkit;
+* :mod:`repro.experiments` — reproduction harness for every figure.
+"""
+
+from repro.protocol.api import SecureSensorNetwork
+from repro.protocol.config import ProtocolConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["SecureSensorNetwork", "ProtocolConfig", "__version__"]

@@ -1,0 +1,13 @@
+"""Post-hoc analysis helpers: energy, lifetime, connectivity."""
+
+from repro.analysis.connectivity import ConnectivityReport, connectivity_report
+from repro.analysis.energy_report import EnergyBreakdown, EnergyReport
+from repro.analysis.lifetime import estimate_lifetime_days
+
+__all__ = [
+    "EnergyReport",
+    "EnergyBreakdown",
+    "estimate_lifetime_days",
+    "ConnectivityReport",
+    "connectivity_report",
+]

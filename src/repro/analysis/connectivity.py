@@ -1,0 +1,93 @@
+"""Operational connectivity reporting for a deployed protocol.
+
+Answers the questions a field operator asks after setup, after failures
+and after evictions: how much of the field can actually reach the base
+station, where are the orphans, how fragmented is the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.setup import DeployedProtocol
+
+
+@dataclass(frozen=True)
+class ConnectivityReport:
+    """Snapshot of reachability and protocol health."""
+
+    total_nodes: int
+    alive_nodes: int
+    routable_nodes: int  # alive, keyed, with a gradient path to the BS
+    orphaned_nodes: int  # alive but without a usable cluster key
+    unreachable_nodes: int  # alive+keyed but no path to the BS
+    components: int  # connected components among alive nodes
+    largest_component: int
+    max_hops: int  # eccentricity of the BS over routable nodes
+
+    @property
+    def routable_fraction(self) -> float:
+        """Share of alive nodes that can deliver readings."""
+        return self.routable_nodes / self.alive_nodes if self.alive_nodes else 0.0
+
+
+def connectivity_report(deployed: "DeployedProtocol") -> ConnectivityReport:
+    """Compute a :class:`ConnectivityReport` from live agent state."""
+    network = deployed.network
+    hops = network.hop_gradient()
+
+    alive = 0
+    routable = 0
+    orphaned = 0
+    unreachable = 0
+    max_hops = 0
+    for nid, agent in deployed.agents.items():
+        if not agent.node.alive:
+            continue
+        alive += 1
+        st = agent.state
+        keyed = st.cid is not None and st.keyring.has(st.cid)
+        if not keyed:
+            orphaned += 1
+            continue
+        if hops.get(nid, -1) > 0:
+            routable += 1
+            max_hops = max(max_hops, hops[nid])
+        else:
+            unreachable += 1
+
+    # Component structure among alive sensors (radio graph).
+    seen: set[int] = set()
+    components = 0
+    largest = 0
+    alive_ids = {
+        nid for nid, a in deployed.agents.items() if a.node.alive
+    }
+    for start in alive_ids:
+        if start in seen:
+            continue
+        components += 1
+        frontier = [start]
+        seen.add(start)
+        size = 0
+        while frontier:
+            u = frontier.pop()
+            size += 1
+            for v in network.adjacency(u):
+                if v in alive_ids and v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        largest = max(largest, size)
+
+    return ConnectivityReport(
+        total_nodes=len(deployed.agents),
+        alive_nodes=alive,
+        routable_nodes=routable,
+        orphaned_nodes=orphaned,
+        unreachable_nodes=unreachable,
+        components=components,
+        largest_component=largest,
+        max_hops=max_hops,
+    )

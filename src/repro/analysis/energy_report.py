@@ -1,0 +1,77 @@
+"""Network-wide energy accounting.
+
+Summarizes the per-node energy meters into the quantities the paper's
+energy arguments are about: total/average radio spend, the tx/rx split,
+and the share attributable to protocol phases (captured by snapshotting
+between phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Aggregate energy numbers (microjoules) for a set of nodes."""
+
+    total: float
+    tx: float
+    rx: float
+    cpu: float
+    node_count: int
+
+    @property
+    def per_node(self) -> float:
+        """Average total energy per node."""
+        return self.total / self.node_count if self.node_count else 0.0
+
+    @property
+    def radio_fraction(self) -> float:
+        """Share of energy spent on the radio (tx + rx)."""
+        return (self.tx + self.rx) / self.total if self.total else 0.0
+
+    def minus(self, earlier: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Energy spent since an ``earlier`` snapshot of the same nodes."""
+        return EnergyBreakdown(
+            total=self.total - earlier.total,
+            tx=self.tx - earlier.tx,
+            rx=self.rx - earlier.rx,
+            cpu=self.cpu - earlier.cpu,
+            node_count=self.node_count,
+        )
+
+
+class EnergyReport:
+    """Snapshot-based energy reporting over a live network."""
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+
+    def snapshot(self, include_bs: bool = False) -> EnergyBreakdown:
+        """Current cumulative energy across sensors (optionally the BS)."""
+        total = tx = rx = cpu = 0.0
+        count = 0
+        for nid, node in self.network.nodes.items():
+            if nid == 0 and not include_bs:
+                continue
+            total += node.energy.consumed
+            tx += node.energy.tx_consumed
+            rx += node.energy.rx_consumed
+            cpu += node.energy.cpu_consumed
+            count += 1
+        return EnergyBreakdown(total=total, tx=tx, rx=rx, cpu=cpu, node_count=count)
+
+    def top_spenders(self, k: int = 5) -> list[tuple[int, float]]:
+        """The ``k`` sensors that burned the most energy (hotspots)."""
+        spend = [
+            (nid, node.energy.consumed)
+            for nid, node in self.network.nodes.items()
+            if nid != 0
+        ]
+        spend.sort(key=lambda item: item[1], reverse=True)
+        return spend[:k]

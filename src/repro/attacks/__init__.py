@@ -1,0 +1,30 @@
+"""Adversary toolkit: the attacks of Sections III and VI, executable.
+
+Every attack here runs against a *live* deployed protocol and succeeds or
+fails through the same code paths legitimate traffic uses — drops show up
+in the network trace, acceptances in the base station's delivered list —
+so the security-analysis experiments assert observable outcomes rather
+than restating the paper's prose.
+"""
+
+from repro.attacks.adversary import Adversary, CaptureResult, CaptureTimingModel
+from repro.attacks.eavesdrop import Eavesdropper
+from repro.attacks.hello_flood import HelloFloodAttacker
+from repro.attacks.replay import ReplayAttacker
+from repro.attacks.replication import CloneAgent, insert_clone
+from repro.attacks.selective_forwarding import SelectiveForwarder, compromise_forwarders
+from repro.attacks.sybil import SybilAttacker
+
+__all__ = [
+    "Adversary",
+    "CaptureResult",
+    "CaptureTimingModel",
+    "Eavesdropper",
+    "HelloFloodAttacker",
+    "ReplayAttacker",
+    "CloneAgent",
+    "insert_clone",
+    "SelectiveForwarder",
+    "compromise_forwarders",
+    "SybilAttacker",
+]

@@ -1,0 +1,60 @@
+"""Selective forwarding (Sec. VI).
+
+A compromised insider forwards some packets and silently drops others.
+The paper's assessment: "its consequences are insignificant since nearby
+nodes can have access to the same information through their cluster keys"
+— with cluster-keyed broadcast and gradient forwarding, every downhill
+neighbor of the previous hop is an independent forwarder, so a few
+droppers barely dent delivery. :func:`compromise_forwarders` converts
+honest agents into droppers in place so the experiment measures exactly
+that redundancy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.protocol import messages
+from repro.protocol.agent import ProtocolAgent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.setup import DeployedProtocol
+
+
+class SelectiveForwarder:
+    """Wraps an honest agent; drops a fraction of DATA it would forward."""
+
+    def __init__(self, agent: ProtocolAgent, drop_probability: float, rng) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.agent = agent
+        self.drop_probability = drop_probability
+        self._rng = rng
+        self.dropped = 0
+
+    def on_frame(self, sender_id: int, frame: bytes) -> None:
+        """Pass everything through except a sampled share of DATA frames."""
+        if (
+            frame
+            and frame[0] == messages.DATA
+            and self._rng.random() < self.drop_probability
+        ):
+            self.dropped += 1
+            return
+        self.agent.on_frame(sender_id, frame)
+
+
+def compromise_forwarders(
+    deployed: "DeployedProtocol",
+    node_ids: list[int],
+    drop_probability: float,
+    rng,
+) -> list[SelectiveForwarder]:
+    """Turn ``node_ids`` into selective forwarders; returns the wrappers."""
+    wrappers = []
+    for nid in node_ids:
+        agent = deployed.agents[nid]
+        wrapper = SelectiveForwarder(agent, drop_probability, rng)
+        deployed.network.node(nid).app = wrapper
+        wrappers.append(wrapper)
+    return wrappers

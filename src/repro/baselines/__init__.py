@@ -1,0 +1,32 @@
+"""Baseline key-management schemes the paper compares against.
+
+Each scheme is a *structural model* over a deployment: it answers, for a
+given topology, (a) how many keys each node stores, (b) how many
+transmissions a local broadcast costs, (c) which links a captured node's
+key material compromises. Those three quantities are exactly what the
+paper's comparative claims (Secs. II, III, VI) are about.
+
+Schemes: pebblenets-style global key, full pairwise, Eschenauer–Gligor
+random key predistribution, Chan–Perrig–Song q-composite, LEAP (including
+the HELLO-flood weakness described in Sec. III), and an adapter exposing
+this paper's protocol through the same interface.
+"""
+
+from repro.baselines.common import KeySchemeModel, all_links
+from repro.baselines.global_key import GlobalKeyScheme
+from repro.baselines.ldp_adapter import LdpSchemeModel
+from repro.baselines.leap import LeapScheme
+from repro.baselines.pairwise import FullPairwiseScheme
+from repro.baselines.q_composite import QCompositeScheme
+from repro.baselines.random_kp import EschenauerGligorScheme
+
+__all__ = [
+    "KeySchemeModel",
+    "all_links",
+    "GlobalKeyScheme",
+    "FullPairwiseScheme",
+    "EschenauerGligorScheme",
+    "QCompositeScheme",
+    "LeapScheme",
+    "LdpSchemeModel",
+]

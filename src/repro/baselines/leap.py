@@ -1,0 +1,107 @@
+"""LEAP (Zhu, Setia, Jajodia [11]) and the HELLO-flood weakness of Sec. III.
+
+LEAP's relevant mechanics: starting from a master key ``K_m``, every node
+derives pairwise keys with each actual neighbor during a discovery phase,
+then creates its *own* cluster key and distributes it to the neighbors
+over those pairwise links. Deterministic security and encrypted local
+broadcast, like this paper — but clusters "highly overlap", so storage is
+proportional to the neighbor count (one pairwise key + one received
+cluster key per neighbor) and the bootstrap costs one transmission per
+neighbor for the cluster-key distribution.
+
+Sec. III's attack: nothing stops an attacker from broadcasting forged
+HELLOs during discovery, so a victim dutifully computes a pairwise key
+for *every* forged identity. If the victim is later captured, the
+adversary holds keys "shared between the compromised node and all other
+nodes in the network". :meth:`hello_flood` models exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.baselines.common import KeyId, KeySchemeModel
+
+
+def _pairwise(u: int, v: int) -> KeyId:
+    return ("leap-pair", min(u, v), max(u, v))
+
+
+def _cluster(owner: int) -> KeyId:
+    return ("leap-cluster", owner)
+
+
+class LeapScheme(KeySchemeModel):
+    """Structural LEAP model with an injectable HELLO-flood."""
+
+    name = "leap"
+
+    def __init__(self, deployment) -> None:
+        super().__init__(deployment)
+        #: Per-victim sets of forged identities accepted during discovery.
+        self._flooded: dict[int, set[int]] = {}
+
+    def _setup(self) -> None:
+        pass  # neighbor relations come straight from the deployment
+
+    def hello_flood(self, victim: int, forged_ids: Iterable[int]) -> None:
+        """An attacker broadcasts HELLOs with ``forged_ids`` near ``victim``
+        during neighbor discovery; the victim computes a pairwise key for
+        each (the protocol offers it no way to refuse)."""
+        self._flooded.setdefault(victim, set()).update(
+            i for i in forged_ids if i != victim
+        )
+
+    def _effective_neighbors(self, node: int) -> set[int]:
+        neighbors = {int(v) for v in self.deployment.neighbors[node]}
+        neighbors |= self._flooded.get(node, set())
+        return neighbors
+
+    def keys_stored(self, node: int) -> int:
+        """Individual key + own cluster key + per-neighbor (pairwise key +
+        received cluster key). Grows linearly with the neighborhood — the
+        storage disadvantage the paper points out — and explodes under a
+        HELLO flood."""
+        deg = len(self._effective_neighbors(node))
+        real_deg = len(self.deployment.neighbors[node])
+        # Cluster keys are received from real radio neighbors only.
+        return 1 + 1 + deg + real_deg
+
+    def broadcast_transmissions(self, node: int) -> int:
+        """Steady-state broadcast uses the node's own cluster key: 1."""
+        return 1
+
+    def bootstrap_transmissions(self, node: int) -> int:
+        """Discovery HELLO + one pairwise-encrypted cluster-key delivery
+        per neighbor: the "more expensive bootstrapping phase" of Sec. III."""
+        return 1 + len(self.deployment.neighbors[node])
+
+    def link_secured(self, u: int, v: int) -> bool:
+        """All real neighbor links get pairwise keys during discovery."""
+        return True
+
+    def captured_material(self, nodes: Iterable[int]) -> set[KeyId]:
+        """Pairwise keys (incl. flooded ones), own cluster key, and the
+        neighbors' cluster keys the node stores."""
+        material: set[KeyId] = set()
+        for u in nodes:
+            material.add(_cluster(u))
+            for v in self._effective_neighbors(u):
+                material.add(_pairwise(u, v))
+            for v in self.deployment.neighbors[u]:
+                material.add(_cluster(int(v)))
+        return material
+
+    def link_compromised(self, u: int, v: int, material: set[KeyId]) -> bool:
+        """Broadcast traffic on (u, v) is readable with either endpoint's
+        cluster key; unicast falls with the pairwise key."""
+        return (
+            _cluster(u) in material
+            or _cluster(v) in material
+            or _pairwise(u, v) in material
+        )
+
+    def impersonable_ids(self, captured: int) -> set[int]:
+        """Identities whose link to ``captured`` the adversary now owns —
+        the Sec. III attack payoff (whole network after a flood)."""
+        return self._effective_neighbors(captured)

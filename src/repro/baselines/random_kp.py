@@ -1,0 +1,110 @@
+"""Eschenauer–Gligor random key predistribution [7].
+
+Every node draws a ring of ``ring_size`` keys uniformly without
+replacement from a pool of ``pool_size``; neighbors that share at least
+one key secure their link with (the smallest-id) shared key. The scheme
+the paper contrasts itself with: storage grows with required
+connectivity, security is "probabilistic" — captured rings expose links
+*anywhere* in the network that happen to use an exposed key.
+
+The expected link-connectivity probability is the classic
+
+    p = 1 - ((P - m)! )^2 / (P! (P - 2m)!)
+
+which the tests check the sampled deployment against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.baselines.common import KeyId, KeySchemeModel
+from repro.sim.topology import Deployment
+from repro.util.validate import check_positive
+
+
+def expected_share_probability(pool_size: int, ring_size: int) -> float:
+    """Probability two random rings intersect (E-G eq. 1)."""
+    if 2 * ring_size > pool_size:
+        return 1.0
+    # Compute in log space to survive large pools.
+    log_p_no_share = (
+        2 * math.lgamma(pool_size - ring_size + 1)
+        - math.lgamma(pool_size + 1)
+        - math.lgamma(pool_size - 2 * ring_size + 1)
+    )
+    return 1.0 - math.exp(log_p_no_share)
+
+
+class EschenauerGligorScheme(KeySchemeModel):
+    """The basic random key predistribution scheme."""
+
+    name = "eschenauer-gligor"
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        rng: np.random.Generator,
+        pool_size: int = 10_000,
+        ring_size: int = 83,
+    ) -> None:
+        super().__init__(deployment)
+        check_positive("pool_size", pool_size)
+        check_positive("ring_size", ring_size)
+        if ring_size > pool_size:
+            raise ValueError("ring_size cannot exceed pool_size")
+        self.pool_size = pool_size
+        self.ring_size = ring_size
+        self._rng = rng
+        self.rings: list[frozenset[int]] = []
+
+    def _setup(self) -> None:
+        self.rings = [
+            frozenset(
+                self._rng.choice(self.pool_size, size=self.ring_size, replace=False).tolist()
+            )
+            for _ in range(self.deployment.n)
+        ]
+
+    def shared_keys(self, u: int, v: int) -> frozenset[int]:
+        """Pool keys nodes ``u`` and ``v`` both hold."""
+        return self.rings[u] & self.rings[v]
+
+    def keys_stored(self, node: int) -> int:
+        """The full ring rides in memory."""
+        return self.ring_size
+
+    def broadcast_transmissions(self, node: int) -> int:
+        """One encryption per *securable* neighbor: each secured link uses
+        its own (generally different) shared key."""
+        count = 0
+        for v in self.deployment.neighbors[node]:
+            if self.link_secured(node, int(v)):
+                count += 1
+        return max(1, count)
+
+    def bootstrap_transmissions(self, node: int) -> int:
+        """One shared-key-discovery broadcast (ring ids or challenges)."""
+        return 1
+
+    def link_secured(self, u: int, v: int) -> bool:
+        """Secure iff the rings intersect."""
+        return bool(self.shared_keys(u, v))
+
+    def _link_key(self, u: int, v: int) -> KeyId:
+        """The agreed link key: deterministically the smallest shared id."""
+        return ("pool", min(self.shared_keys(u, v)))
+
+    def captured_material(self, nodes: Iterable[int]) -> set[KeyId]:
+        """The union of the captured nodes' rings."""
+        material: set[KeyId] = set()
+        for u in nodes:
+            material.update(("pool", k) for k in self.rings[u])
+        return material
+
+    def link_compromised(self, u: int, v: int, material: set[KeyId]) -> bool:
+        """The link falls iff its agreed key is in the exposed pool subset."""
+        return self._link_key(u, v) in material

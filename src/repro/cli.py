@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — deploy a small network, send readings, print what arrived;
+* ``figures`` — regenerate the paper's figures as ASCII tables
+  (``--fig all`` or a specific one: 1, 6, 7, 8, 9);
+* ``experiments`` — the non-figure experiments (resilience, broadcast
+  cost, attacks, LEAP weakness, timing, energy, ablations);
+* ``inspect`` — deploy and print a cluster map + setup metrics.
+
+All commands accept ``--n``, ``--density`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=400, help="number of sensors")
+    parser.add_argument("--density", type=float, default=12.0, help="mean neighbors/node")
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import SecureSensorNetwork
+
+    ssn = SecureSensorNetwork.deploy(n=args.n, density=args.density, seed=args.seed)
+    m = ssn.setup_metrics
+    print(
+        f"deployed {m.n} nodes (density {m.measured_density:.1f}): "
+        f"{m.cluster_count} clusters, {m.mean_keys_per_node:.2f} keys/node, "
+        f"{m.messages_per_node:.2f} setup msgs/node"
+    )
+    sources = [nid for nid in ssn.node_ids() if ssn.agent(nid).state.hops_to_bs > 0]
+    for i, src in enumerate(sources[:: max(1, len(sources) // 5)][:5]):
+        ssn.send_reading(src, f"reading-{i}".encode())
+    ssn.run(30.0)
+    for r in ssn.readings():
+        print(f"  t={r.time:7.3f}s node {r.source:4d} -> {r.data.decode()}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig1_cluster_distribution,
+        fig6_keys_per_node,
+        fig7_cluster_size,
+        fig8_clusterhead_fraction,
+        fig9_setup_messages,
+    )
+
+    modules = {
+        "1": lambda: fig1_cluster_distribution.run(n=args.n, seeds=range(args.runs)),
+        "6": lambda: fig6_keys_per_node.run(n=args.n, seeds=range(args.runs)),
+        "7": lambda: fig7_cluster_size.run(n=args.n, seeds=range(args.runs)),
+        "8": lambda: fig8_clusterhead_fraction.run(n=args.n, seeds=range(args.runs)),
+        "9": lambda: fig9_setup_messages.run(n=args.n, seeds=range(args.runs)),
+    }
+    wanted = modules.keys() if args.fig == "all" else [args.fig]
+    for key in wanted:
+        if key not in modules:
+            print(f"unknown figure {key!r}; choose from {sorted(modules)} or 'all'")
+            return 2
+        print(modules[key]().render())
+        print()
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablations,
+        attacks_table,
+        broadcast_cost,
+        energy_cost,
+        leap_weakness,
+        load_delivery,
+        randkp_connectivity,
+        refresh_vulnerability,
+        resilience,
+        scale_invariance,
+        timing_security,
+    )
+
+    runners = {
+        "broadcast": lambda: [broadcast_cost.run(n=args.n, density=args.density, seed=args.seed)],
+        "resilience": lambda: [
+            resilience.run(n=args.n, density=args.density, seed=args.seed),
+            resilience.run_locality(n=args.n, density=args.density, seed=args.seed),
+        ],
+        "attacks": lambda: [attacks_table.run(n=min(args.n, 300), density=args.density, seed=args.seed)],
+        "leap": lambda: [leap_weakness.run(n=args.n, density=args.density, seed=args.seed)],
+        "scale": lambda: [scale_invariance.run()],
+        "timing": lambda: [timing_security.run(n=args.n)],
+        "energy": lambda: [
+            energy_cost.run_setup_cost(n=args.n),
+            energy_cost.run_reporting_cost(n=min(args.n, 300), seed=args.seed),
+        ],
+        "ablations": lambda: [
+            ablations.run_timer(n=args.n),
+            ablations.run_fusion(n=min(args.n, 300), seed=args.seed),
+            ablations.run_refresh(n=min(args.n, 300), seed=args.seed),
+            ablations.run_counter_mode(n=min(args.n, 300), seed=args.seed),
+        ],
+        "refresh": lambda: [
+            refresh_vulnerability.run(n=min(args.n, 300), density=args.density)
+        ],
+        "randkp": lambda: [
+            randkp_connectivity.run(n=min(args.n, 250), density=args.density)
+        ],
+        "load": lambda: [
+            load_delivery.run(n=min(args.n, 250), density=args.density, seed=args.seed)
+        ],
+    }
+    wanted = runners.keys() if args.which == "all" else [args.which]
+    for key in wanted:
+        if key not in runners:
+            print(f"unknown experiment {key!r}; choose from {sorted(runners)} or 'all'")
+            return 2
+        for table in runners[key]():
+            print(table.render())
+            print()
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro import SecureSensorNetwork
+    from repro.viz import cluster_map
+
+    ssn = SecureSensorNetwork.deploy(n=args.n, density=args.density, seed=args.seed)
+    print(cluster_map(ssn.deployed, width=args.width))
+    m = ssn.setup_metrics
+    print(
+        f"\nclusters: {m.cluster_count}  mean size: {m.mean_cluster_size:.2f}  "
+        f"keys/node: {m.mean_keys_per_node:.2f} (max {m.max_keys_per_node})  "
+        f"singletons: {m.singleton_fraction:.2%}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Dimitriou & Krontiris (IPPS 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="deploy and collect a few readings")
+    _add_common(demo)
+    demo.set_defaults(func=_cmd_demo)
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    _add_common(figures)
+    figures.add_argument("--fig", default="all", help="1, 6, 7, 8, 9 or 'all'")
+    figures.add_argument("--runs", type=int, default=2, help="seeds per point")
+    figures.set_defaults(func=_cmd_figures)
+
+    experiments = sub.add_parser("experiments", help="non-figure experiments")
+    _add_common(experiments)
+    experiments.add_argument(
+        "--which",
+        default="all",
+        help=(
+            "broadcast, resilience, attacks, leap, scale, timing, energy, "
+            "ablations, refresh, randkp, load or 'all'"
+        ),
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
+    inspect = sub.add_parser("inspect", help="print a cluster map")
+    _add_common(inspect)
+    inspect.add_argument("--width", type=int, default=72, help="map width in chars")
+    inspect.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

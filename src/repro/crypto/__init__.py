@@ -1,0 +1,60 @@
+"""From-scratch symmetric crypto substrate.
+
+Everything the protocol needs — block ciphers, CTR mode, MACs, the PRF
+``F``, key derivation, one-way key chains and erasable key containers — is
+implemented in this subpackage with no dependency beyond the standard
+library (hashlib is used only as a validated fast path and test oracle for
+our own SHA-256).
+"""
+
+from repro.crypto.aead import AeadConfig, AuthenticationError, open_, seal
+from repro.crypto.block import BlockCipher, available_ciphers, get_cipher
+from repro.crypto.kdf import (
+    KEY_LEN,
+    chain_step,
+    derive_cluster_key,
+    derive_usage_key,
+    prf,
+    refresh_key,
+)
+from repro.crypto.keychain import ChainVerifier, KeyChain
+from repro.crypto.keys import KeyErasedError, KeyRing, SymmetricKey
+from repro.crypto.mac import CbcMac, hmac_sha256, mac, verify
+from repro.crypto.modes import ctr_decrypt, ctr_encrypt
+from repro.crypto.rc5 import Rc5
+from repro.crypto.sha256 import Sha256, sha256, sha256_fast
+from repro.crypto.speck import Speck64_128
+from repro.crypto.xtea import Xtea
+
+__all__ = [
+    "AeadConfig",
+    "AuthenticationError",
+    "seal",
+    "open_",
+    "BlockCipher",
+    "available_ciphers",
+    "get_cipher",
+    "KEY_LEN",
+    "prf",
+    "derive_usage_key",
+    "derive_cluster_key",
+    "chain_step",
+    "refresh_key",
+    "KeyChain",
+    "ChainVerifier",
+    "SymmetricKey",
+    "KeyRing",
+    "KeyErasedError",
+    "CbcMac",
+    "hmac_sha256",
+    "mac",
+    "verify",
+    "ctr_encrypt",
+    "ctr_decrypt",
+    "Sha256",
+    "sha256",
+    "sha256_fast",
+    "Speck64_128",
+    "Xtea",
+    "Rc5",
+]

@@ -1,0 +1,97 @@
+"""Encrypt-then-MAC composition used by both protocol steps.
+
+The paper's two-step construction (Figs. 3 and 4) is encrypt-then-MAC with
+independent derived keys:
+
+    y  <- E_{Kencr}(payload)          (CTR mode, shared counter)
+    t  <- MAC_{Kmac}(y)
+    c  <- y | t
+
+:func:`seal` / :func:`open_` implement exactly that, with optional
+*associated data* (bytes that are authenticated but not encrypted — the
+cluster id ``CID`` that Step 2 prepends in clear so receivers can select
+the right key from their set ``S``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.block import get_cipher
+from repro.crypto.kdf import ENCRYPT_USAGE, MAC_USAGE, derive_usage_key
+from repro.crypto.mac import DEFAULT_TAG_LEN, mac, verify
+from repro.crypto.modes import ctr_decrypt, ctr_encrypt
+
+
+class AuthenticationError(Exception):
+    """MAC verification failed: the message is not legitimate and, per the
+    paper, "should be dropped"."""
+
+
+@dataclass(frozen=True)
+class AeadConfig:
+    """Cipher selection and tag size for the composition."""
+
+    cipher: str = "speck64/128"
+    tag_len: int = DEFAULT_TAG_LEN
+
+
+def seal(
+    key: bytes,
+    counter: int,
+    plaintext: bytes,
+    associated_data: bytes = b"",
+    config: AeadConfig = AeadConfig(),
+) -> bytes:
+    """Encrypt-then-MAC ``plaintext`` under ``key`` and ``counter``.
+
+    Returns ``ciphertext | tag``; the tag covers the associated data, the
+    counter and the ciphertext, binding all three.
+    """
+    k_encr = derive_usage_key(key, ENCRYPT_USAGE)
+    k_mac = derive_usage_key(key, MAC_USAGE)
+    cipher = get_cipher(config.cipher, k_encr)
+    ct = ctr_encrypt(cipher, counter, plaintext)
+    tag = mac(k_mac, _mac_input(config, associated_data, counter, ct), config.tag_len)
+    return ct + tag
+
+
+def open_(
+    key: bytes,
+    counter: int,
+    sealed: bytes,
+    associated_data: bytes = b"",
+    config: AeadConfig = AeadConfig(),
+) -> bytes:
+    """Verify and decrypt a :func:`seal` output.
+
+    Raises:
+        AuthenticationError: on a bad tag or truncated input; the payload is
+            never decrypted in that case (verify-then-decrypt).
+    """
+    if len(sealed) < config.tag_len:
+        raise AuthenticationError("message shorter than its MAC tag")
+    ct, tag = sealed[: -config.tag_len], sealed[-config.tag_len :]
+    k_encr = derive_usage_key(key, ENCRYPT_USAGE)
+    k_mac = derive_usage_key(key, MAC_USAGE)
+    if not verify(k_mac, _mac_input(config, associated_data, counter, ct), tag):
+        raise AuthenticationError("MAC verification failed")
+    cipher = get_cipher(config.cipher, k_encr)
+    return ctr_decrypt(cipher, counter, ct)
+
+
+def _mac_input(
+    config: AeadConfig, associated_data: bytes, counter: int, ciphertext: bytes
+) -> bytes:
+    """Unambiguous MAC input: cipher identity, length-prefixed AD, counter,
+    ciphertext. Binding the cipher name prevents a tag computed for one
+    cipher from verifying a decryption under another."""
+    name = config.cipher.encode("ascii")
+    return (
+        bytes([len(name)])
+        + name
+        + len(associated_data).to_bytes(4, "big")
+        + associated_data
+        + counter.to_bytes(8, "big")
+        + ciphertext
+    )

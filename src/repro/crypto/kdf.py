@@ -1,0 +1,78 @@
+"""The pseudo-random function ``F`` and every key derivation the paper uses.
+
+The paper relies on one abstract secure PRF ``F`` in four places:
+
+* ``K_encr = F_{K_i}(0)`` and ``K_MAC = F_{K_i}(1)`` — independent keys for
+  encryption and authentication derived from the node key (Sec. IV-C,
+  "a good security practice is to use different keys for different
+  cryptographic operations");
+* the same split applied to cluster keys for hop-by-hop Step 2
+  (``K'_encr``, ``K'_MAC``);
+* ``K_ci = F(K_MC, i)`` — candidate cluster keys derived from the cluster
+  master key, enabling new nodes to regenerate any cluster key (Sec. IV-E);
+* the one-way function of the revocation key chain (Sec. IV-D) and of
+  hash-based cluster-key refresh (Sec. IV-C).
+
+We realize ``F`` as HMAC-SHA256 with domain-separation labels so the four
+uses can never collide, and truncate derived keys to the 16-byte symmetric
+key size used throughout.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.crypto.mac import hmac_sha256
+
+KEY_LEN = 16
+
+# Domain-separation labels. Distinct first bytes guarantee the PRF input
+# spaces of the different derivations are disjoint.
+_LABEL_USAGE = b"\x01usage"
+_LABEL_CLUSTER = b"\x02cluster"
+_LABEL_CHAIN = b"\x03chain"
+_LABEL_REFRESH = b"\x04refresh"
+
+ENCRYPT_USAGE = 0
+MAC_USAGE = 1
+
+
+def prf(key: bytes, data: bytes, out_len: int = KEY_LEN) -> bytes:
+    """The abstract PRF ``F_key(data)``, truncated to ``out_len`` bytes."""
+    if not 1 <= out_len <= 32:
+        raise ValueError(f"out_len must be in [1, 32], got {out_len}")
+    return hmac_sha256(key, data)[:out_len]
+
+
+@lru_cache(maxsize=16384)
+def derive_usage_key(key: bytes, usage: int) -> bytes:
+    """``F_K(usage)`` — split one key into per-operation subkeys.
+
+    ``usage`` 0 selects the encryption key, 1 the MAC key (the paper's
+    ``F_Ki(0)`` / ``F_Ki(1)``). Cached: every seal/open re-derives the
+    same two subkeys from the same handful of long-lived keys.
+    """
+    if usage not in (ENCRYPT_USAGE, MAC_USAGE):
+        raise ValueError(f"usage must be 0 (encrypt) or 1 (mac), got {usage}")
+    return prf(key, _LABEL_USAGE + bytes([usage]))
+
+
+def derive_cluster_key(master: bytes, node_id: int) -> bytes:
+    """``K_ci = F(K_MC, i)`` — candidate cluster key of node ``i``."""
+    if node_id < 0:
+        raise ValueError(f"node_id must be non-negative, got {node_id}")
+    return prf(master, _LABEL_CLUSTER + node_id.to_bytes(8, "big"))
+
+
+def chain_step(key: bytes) -> bytes:
+    """One backward step of the one-way key chain: ``K_{l-1} = F(K_l)``."""
+    return prf(key, _LABEL_CHAIN)
+
+
+def refresh_key(key: bytes) -> bytes:
+    """Hash-based cluster-key refresh (Sec. IV-C / VI): ``K' = F(K)``.
+
+    Distinct from :func:`chain_step` so refreshing a cluster key can never
+    walk the revocation chain.
+    """
+    return prf(key, _LABEL_REFRESH)

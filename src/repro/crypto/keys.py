@@ -1,0 +1,122 @@
+"""Key material containers with explicit erasure.
+
+The protocol's security argument leans on keys being *deleted* at specific
+times (the master key ``K_m`` after setup, ``K_MC`` after join). To make
+those deletions observable — and testable — key material lives in
+:class:`SymmetricKey` objects that can be zeroized, and per-node storage in
+a :class:`KeyRing` that counts exactly the keys a real mote would hold
+(the storage metric of Fig. 6).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.kdf import KEY_LEN
+
+
+class KeyErasedError(RuntimeError):
+    """Raised when erased key material is used (a protocol logic bug)."""
+
+
+class SymmetricKey:
+    """A 16-byte symmetric key that can be explicitly erased.
+
+    After :meth:`erase`, any access raises :class:`KeyErasedError`; the
+    simulated adversary's key-extraction code goes through the same
+    accessor, so erased keys are genuinely unrecoverable in-model.
+    """
+
+    __slots__ = ("_material", "label")
+
+    def __init__(self, material: bytes, label: str = "") -> None:
+        if len(material) != KEY_LEN:
+            raise ValueError(f"key must be {KEY_LEN} bytes, got {len(material)}")
+        self._material: bytes | None = material
+        self.label = label
+
+    @classmethod
+    def generate(cls, rng=None, label: str = "") -> "SymmetricKey":
+        """Fresh random key; ``rng`` (numpy Generator) makes it reproducible."""
+        if rng is None:
+            material = os.urandom(KEY_LEN)
+        else:
+            material = rng.integers(0, 256, size=KEY_LEN, dtype="uint8").tobytes()
+        return cls(material, label)
+
+    @property
+    def material(self) -> bytes:
+        """The raw key bytes.
+
+        Raises:
+            KeyErasedError: after :meth:`erase`.
+        """
+        if self._material is None:
+            raise KeyErasedError(f"key {self.label!r} has been erased")
+        return self._material
+
+    @property
+    def erased(self) -> bool:
+        """Whether :meth:`erase` has been called."""
+        return self._material is None
+
+    def erase(self) -> None:
+        """Destroy the key material (idempotent)."""
+        self._material = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymmetricKey):
+            return NotImplemented
+        if self.erased or other.erased:
+            return False
+        return self._material == other._material
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are not dict keys
+        raise TypeError("SymmetricKey is unhashable; compare material explicitly")
+
+    def __repr__(self) -> str:
+        state = "erased" if self.erased else f"{len(self._material)}B"
+        return f"SymmetricKey({self.label!r}, {state})"
+
+
+class KeyRing:
+    """Per-node cluster-key store: maps cluster id CID -> cluster key.
+
+    This is the set ``S`` of Sec. IV-B; its size is exactly the "number of
+    cluster keys held" plotted in Fig. 6.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[int, SymmetricKey] = {}
+
+    def store(self, cid: int, key: SymmetricKey) -> None:
+        """Store (or overwrite, e.g. on refresh) the key of cluster ``cid``."""
+        self._keys[cid] = key
+
+    def get(self, cid: int) -> SymmetricKey:
+        """Look up a cluster key.
+
+        Raises:
+            KeyError: if this node holds no key for ``cid``.
+        """
+        return self._keys[cid]
+
+    def has(self, cid: int) -> bool:
+        """Whether a key for ``cid`` is held."""
+        return cid in self._keys
+
+    def remove(self, cid: int) -> None:
+        """Erase and drop the key for ``cid`` (revocation); idempotent."""
+        key = self._keys.pop(cid, None)
+        if key is not None:
+            key.erase()
+
+    def cluster_ids(self) -> tuple[int, ...]:
+        """CIDs this node can authenticate traffic from, sorted."""
+        return tuple(sorted(self._keys))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, cid: int) -> bool:
+        return cid in self._keys

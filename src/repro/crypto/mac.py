@@ -1,0 +1,81 @@
+"""Message authentication codes built on the from-scratch primitives.
+
+Two constructions:
+
+* :func:`hmac_sha256` — RFC 2104 HMAC over our SHA-256; used for the
+  protocol's MACs (the paper's ``MAC_K(M)``) and as the PRF ``F``.
+* :class:`CbcMac` — classic CBC-MAC over a block cipher with length
+  prepending (secure for the fixed-format, length-prefixed messages the
+  protocol exchanges); provided because CBC-MAC is what TinySec-era motes
+  actually shipped, and the ablation benches compare the two.
+
+MAC tags are truncated to :data:`DEFAULT_TAG_LEN` bytes on the wire, the
+common 8-byte sensor-network tag size (TinySec/SPINS use 4–8 bytes).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.block import BlockCipher
+from repro.crypto.sha256 import sha256_fast
+from repro.util.bytesutil import constant_time_eq, xor_bytes
+
+DEFAULT_TAG_LEN = 8
+
+_BLOCK = 64
+_IPAD = bytes(0x36 for _ in range(_BLOCK))
+_OPAD = bytes(0x5C for _ in range(_BLOCK))
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Full 32-byte HMAC-SHA256 tag."""
+    if len(key) > _BLOCK:
+        key = sha256_fast(key)
+    key = key.ljust(_BLOCK, b"\x00")
+    inner = sha256_fast(xor_bytes(key, _IPAD) + message)
+    return sha256_fast(xor_bytes(key, _OPAD) + inner)
+
+
+def mac(key: bytes, message: bytes, tag_len: int = DEFAULT_TAG_LEN) -> bytes:
+    """Truncated HMAC tag as carried on the (simulated) wire."""
+    if not 1 <= tag_len <= 32:
+        raise ValueError(f"tag_len must be in [1, 32], got {tag_len}")
+    return hmac_sha256(key, message)[:tag_len]
+
+
+def verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time verification of a truncated HMAC tag."""
+    if not tag:
+        return False
+    return constant_time_eq(mac(key, message, len(tag)), tag)
+
+
+class CbcMac:
+    """CBC-MAC over an 8-byte block cipher, length-prepended.
+
+    Prepending the message length as the first block makes plain CBC-MAC
+    secure for variable-length messages (the standard fix for the
+    extension weakness of raw CBC-MAC).
+    """
+
+    def __init__(self, cipher: BlockCipher) -> None:
+        self._cipher = cipher
+        self._block = cipher.block_size
+
+    def tag(self, message: bytes, tag_len: int = DEFAULT_TAG_LEN) -> bytes:
+        """Compute a CBC-MAC tag of ``tag_len`` bytes (≤ block size)."""
+        if not 1 <= tag_len <= self._block:
+            raise ValueError(f"tag_len must be in [1, {self._block}], got {tag_len}")
+        block = self._block
+        data = len(message).to_bytes(block, "big") + message
+        if len(data) % block:
+            data += b"\x00" * (block - len(data) % block)
+        state = bytes(block)
+        for off in range(0, len(data), block):
+            state = self._cipher.encrypt_block(xor_bytes(state, data[off : off + block]))
+        return state[:tag_len]
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Constant-time verification."""
+        if not tag:
+            return False
+        return constant_time_eq(self.tag(message, len(tag)), tag)

@@ -1,0 +1,127 @@
+"""Pure-Python SHA-256 (FIPS 180-4), built from scratch.
+
+The protocol needs a collision-resistant one-way function for its PRF, MACs
+and one-way key chains. We implement SHA-256 ourselves so the whole crypto
+stack in this repo is self-contained; the test suite cross-checks every
+digest against :mod:`hashlib` with property-based inputs.
+
+The implementation favours clarity over speed (it is a reference for the
+simulated motes, not a bulk hasher); hot paths that hash large volumes go
+through :func:`sha256_fast`, which dispatches to :mod:`hashlib` after the
+pure implementation has been validated, mirroring the usual
+"make it work, then optimize the measured bottleneck" workflow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotr(x: int, n: int) -> int:
+    return ((x >> n) | (x << (32 - n))) & _MASK
+
+
+def _compress(state: tuple[int, ...], block: bytes) -> tuple[int, ...]:
+    """One SHA-256 compression-function application on a 64-byte block."""
+    w = list(struct.unpack(">16I", block))
+    for t in range(16, 64):
+        s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
+        s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
+        w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK)
+
+    a, b, c, d, e, f, g, h = state
+    for t in range(64):
+        big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        t1 = (h + big_s1 + ch + _K[t] + w[t]) & _MASK
+        big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        t2 = (big_s0 + maj) & _MASK
+        h, g, f, e, d, c, b, a = (
+            g, f, e, (d + t1) & _MASK, c, b, a, (t1 + t2) & _MASK,
+        )
+    return tuple((x + y) & _MASK for x, y in zip(state, (a, b, c, d, e, f, g, h)))
+
+
+def _pad(message_len: int) -> bytes:
+    """Merkle–Damgård padding for a message of ``message_len`` bytes."""
+    pad_len = (55 - message_len) % 64
+    return b"\x80" + b"\x00" * pad_len + struct.pack(">Q", message_len * 8)
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data`` (pure Python)."""
+    padded = data + _pad(len(data))
+    state = _H0
+    for off in range(0, len(padded), 64):
+        state = _compress(state, padded[off : off + 64])
+    return struct.pack(">8I", *state)
+
+
+def sha256_fast(data: bytes) -> bytes:
+    """SHA-256 via the platform implementation.
+
+    Identical output to :func:`sha256` (asserted by the test suite); used by
+    throughput-sensitive call sites such as per-hop MACs in large
+    simulations.
+    """
+    return hashlib.sha256(data).digest()
+
+
+class Sha256:
+    """Incremental SHA-256 with the familiar ``update``/``digest`` API."""
+
+    block_size = 64
+    digest_size = 32
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = _H0
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._length += len(data)
+        buf = self._buffer + data
+        n_blocks = len(buf) // 64
+        for i in range(n_blocks):
+            self._state = _compress(self._state, buf[i * 64 : (i + 1) * 64])
+        self._buffer = buf[n_blocks * 64 :]
+
+    def digest(self) -> bytes:
+        """Digest of everything absorbed so far (non-destructive)."""
+        # _pad() is computed from the full message length; the buffered tail
+        # plus padding is always an exact multiple of the block size.
+        padded = self._buffer + _pad(self._length)
+        state = self._state
+        for off in range(0, len(padded), 64):
+            state = _compress(state, padded[off : off + 64])
+        return struct.pack(">8I", *state)
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()

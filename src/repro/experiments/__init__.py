@@ -1,0 +1,16 @@
+"""Reproduction harness: one module per paper figure/claim.
+
+Every module exposes ``run(...)`` returning an :class:`ExperimentTable`
+and a ``main()`` that prints it; the ``benchmarks/`` tree wires each one
+into pytest-benchmark. Paper-scale parameters (n = 2500, 5+ seeds) are
+available through each ``run()``'s arguments; defaults are sized to keep
+the full suite minutes, not hours.
+"""
+
+from repro.experiments.common import (
+    ExperimentTable,
+    PAPER_DENSITIES,
+    setup_sweep,
+)
+
+__all__ = ["ExperimentTable", "PAPER_DENSITIES", "setup_sweep"]

@@ -1,0 +1,48 @@
+"""Figure 8 — clusterheads as a fraction of network size vs density.
+
+The paper measures ~0.23 at density 8 falling to ~0.11 at density 20:
+denser networks need proportionally fewer heads (each HELLO captures a
+larger neighborhood).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.common import (
+    ExperimentTable,
+    PAPER_DENSITIES,
+    averaged_metric,
+    setup_sweep,
+)
+
+PAPER_FIGURE = "Figure 8"
+
+#: Values read off the paper's curve.
+PAPER_CURVE = {8.0: 0.23, 10.0: 0.20, 12.5: 0.17, 15.0: 0.145, 17.5: 0.125, 20.0: 0.11}
+
+
+def run(
+    densities: Sequence[float] = PAPER_DENSITIES,
+    n: int = 800,
+    seeds: Iterable[int] = range(3),
+) -> ExperimentTable:
+    """Head fraction across the density grid."""
+    sweep = setup_sweep(densities, n, seeds)
+    table = ExperimentTable(
+        title=f"{PAPER_FIGURE}: clusterheads / network size vs density (n={n})",
+        headers=["density", "head fraction", "ci95", "paper"],
+    )
+    for density in densities:
+        mean, ci = averaged_metric(sweep[density], lambda m: m.head_fraction)
+        table.add_row(density, mean, ci, PAPER_CURVE.get(density, float("nan")))
+    table.notes.append("paper shape: monotonically decreasing in density")
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Delivery and latency under offered load (extension experiment).
+
+Not a figure from the paper — its evaluation stops at the key-setup
+phase — but the natural next question for anyone adopting the protocol:
+how does the secured data plane behave as the reporting rate rises on a
+realistic medium (CSMA MAC, collision modeling)? The secure forwarding
+path adds bytes (tags, headers) and per-hop crypto to every frame, so
+load tolerance is where its overheads would bite.
+
+Reported per offered load: delivery ratio, median and p95 latency, and
+collision counts. Expected shape: near-perfect delivery at low rates,
+collision-driven decay as the channel saturates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentTable
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.setup import deploy
+from repro.sim.radio import RadioConfig
+from repro.workloads import PeriodicReporting
+
+PAPER_FIGURE = "Extension: data-plane behaviour under load"
+
+
+def run(
+    periods_s: Sequence[float] = (20.0, 5.0, 2.0, 1.0),
+    n: int = 250,
+    density: float = 12.0,
+    seed: int = 0,
+    reporters: int = 40,
+    rounds: int = 5,
+) -> ExperimentTable:
+    """Sweep the reporting period (shorter = more offered load)."""
+    table = ExperimentTable(
+        title=f"{PAPER_FIGURE} (n={n}, {reporters} reporters x {rounds} rounds, CSMA)",
+        headers=[
+            "period (s)",
+            "offered msg/s",
+            "delivery ratio",
+            "median latency (s)",
+            "p95 latency (s)",
+            "collisions",
+        ],
+    )
+    for period in periods_s:
+        deployed, _ = deploy(
+            n,
+            density,
+            seed=seed,
+            # Wider forwarding jitter than the default: on a collision-prone
+            # channel, desynchronizing the forwarder fan-out buys delivery
+            # at the price of per-hop latency (see the jitter probe in the
+            # module tests).
+            config=ProtocolConfig(forward_jitter_s=0.2),
+            radio_config=RadioConfig(mac="csma", model_collisions=True),
+        )
+        sources = [
+            nid for nid, a in deployed.agents.items() if a.state.hops_to_bs > 0
+        ][:reporters]
+        workload = PeriodicReporting(
+            deployed, sources, period_s=period, rounds=rounds,
+            rng=np.random.default_rng(seed),
+        )
+        collisions_before = deployed.network.radio.frames_collided
+        workload.start()
+        sim = deployed.network.sim
+        sim.run(until=sim.now + workload.duration_s + 30.0)
+        lat = sorted(workload.latencies())
+        table.add_row(
+            period,
+            len(sources) / period,
+            workload.delivery_ratio(),
+            lat[len(lat) // 2] if lat else float("nan"),
+            lat[int(len(lat) * 0.95)] if lat else float("nan"),
+            deployed.network.radio.frames_collided - collisions_before,
+        )
+    table.notes.append(
+        "expected shape: high delivery at low load decaying as the channel "
+        "saturates; the protocol is ack-free (Sec. VI), so hidden-terminal "
+        "losses are repaired only by multi-path redundancy, capping "
+        "delivery below 1.0 on a collision-prone medium"
+    )
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

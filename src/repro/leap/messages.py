@@ -1,0 +1,93 @@
+"""LEAP wire formats.
+
+Frame types live in a separate number space from the main protocol's
+(both run on the same simulator but never in the same network).
+
+* DISCOVERY_HELLO — node id in clear, *unauthenticated* (the root of the
+  Sec. III attack; LEAP v1 cannot authenticate it because the pairwise
+  key does not exist yet);
+* CLUSTER_KEY — the sender's cluster key for one addressed neighbor,
+  sealed under their pairwise key;
+* LEAP_DATA — local broadcast under the sender's own cluster key.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.aead import AeadConfig, open_, seal
+
+DISCOVERY_HELLO = 64
+CLUSTER_KEY = 65
+LEAP_DATA = 66
+
+KEY_LEN = 16
+
+_AD_CK = b"LC"
+_AD_DATA = b"LD"
+
+
+class MalformedLeapMessage(ValueError):
+    """Structurally invalid LEAP frame."""
+
+
+def encode_discovery_hello(node_id: int) -> bytes:
+    """Unauthenticated discovery announcement (deliberately so)."""
+    return bytes([DISCOVERY_HELLO]) + struct.pack(">I", node_id)
+
+
+def decode_discovery_hello(frame: bytes) -> int:
+    """Parse a discovery HELLO; returns the claimed node id."""
+    if len(frame) != 5 or frame[0] != DISCOVERY_HELLO:
+        raise MalformedLeapMessage("not a discovery HELLO")
+    return struct.unpack(">I", frame[1:])[0]
+
+
+def encode_cluster_key(
+    pairwise: bytes, sender: int, addressee: int, cluster_key: bytes, aead: AeadConfig
+) -> bytes:
+    """Sender's cluster key for ``addressee``, sealed under their pairwise key."""
+    if len(cluster_key) != KEY_LEN:
+        raise MalformedLeapMessage(f"cluster key must be {KEY_LEN} bytes")
+    header = struct.pack(">II", sender, addressee)
+    sealed = seal(pairwise, sender, cluster_key, _AD_CK + header, aead)
+    return bytes([CLUSTER_KEY]) + header + sealed
+
+
+def cluster_key_header(frame: bytes) -> tuple[int, int]:
+    """Peek ``(sender, addressee)`` of a CLUSTER_KEY frame."""
+    if len(frame) < 9 or frame[0] != CLUSTER_KEY:
+        raise MalformedLeapMessage("not a CLUSTER_KEY frame")
+    return struct.unpack(">II", frame[1:9])
+
+
+def decode_cluster_key(pairwise: bytes, frame: bytes, aead: AeadConfig) -> bytes:
+    """Verify and open a CLUSTER_KEY frame; returns the cluster key."""
+    sender, _addressee = cluster_key_header(frame)
+    header = frame[1:9]
+    key = open_(pairwise, sender, frame[9:], _AD_CK + header, aead)
+    if len(key) != KEY_LEN:
+        raise MalformedLeapMessage("bad CLUSTER_KEY plaintext length")
+    return key
+
+
+def encode_data(
+    cluster_key: bytes, sender: int, seq: int, payload: bytes, aead: AeadConfig
+) -> bytes:
+    """Local broadcast under the sender's own cluster key."""
+    header = struct.pack(">II", sender, seq)
+    sealed = seal(cluster_key, seq, payload, _AD_DATA + header, aead)
+    return bytes([LEAP_DATA]) + header + sealed
+
+
+def data_header(frame: bytes) -> tuple[int, int]:
+    """Peek ``(sender, seq)`` of a LEAP_DATA frame."""
+    if len(frame) < 9 or frame[0] != LEAP_DATA:
+        raise MalformedLeapMessage("not a LEAP_DATA frame")
+    return struct.unpack(">II", frame[1:9])
+
+
+def decode_data(cluster_key: bytes, frame: bytes, aead: AeadConfig) -> bytes:
+    """Verify and open a LEAP_DATA frame; returns the payload."""
+    _sender, seq = data_header(frame)
+    return open_(cluster_key, seq, frame[9:], _AD_DATA + frame[1:9], aead)

@@ -1,0 +1,32 @@
+"""The paper's contribution: the localized, distributed key-management
+protocol and its secure-forwarding data plane."""
+
+from repro.protocol.agent import ProtocolAgent, ProtocolError
+from repro.protocol.api import SecureSensorNetwork
+from repro.protocol.base_station import BaseStationAgent, DeliveredReading, KeyRegistry
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.metrics import SetupMetrics, compute_setup_metrics, validate_clusters
+from repro.protocol.refresh import RefreshCoordinator
+from repro.protocol.setup import DeployedProtocol, deploy, provision, run_key_setup
+from repro.protocol.state import NodeState, Preload, Role
+
+__all__ = [
+    "ProtocolAgent",
+    "ProtocolError",
+    "SecureSensorNetwork",
+    "BaseStationAgent",
+    "DeliveredReading",
+    "KeyRegistry",
+    "ProtocolConfig",
+    "SetupMetrics",
+    "compute_setup_metrics",
+    "validate_clusters",
+    "RefreshCoordinator",
+    "DeployedProtocol",
+    "deploy",
+    "provision",
+    "run_key_setup",
+    "NodeState",
+    "Preload",
+    "Role",
+]

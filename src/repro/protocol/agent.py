@@ -1,0 +1,585 @@
+"""The per-node protocol agent: the paper's state machine.
+
+One :class:`ProtocolAgent` is attached to each sensor node and implements
+every node-side behaviour of the protocol:
+
+* phase 1 — clusterhead election with exponential timers and HELLO
+  processing (Sec. IV-B.1);
+* phase 2 — cluster-key dissemination and neighbor-cluster key storage
+  (Sec. IV-B.2), then erasure of ``K_m``;
+* the data plane — Step-1/Step-2 secure forwarding with gradient routing,
+  per-sender anti-replay, freshness and duplicate suppression (Sec. IV-C);
+* revocation processing with the one-way key chain (Sec. IV-D);
+* join-response duty for new-node addition (Sec. IV-E);
+* key refresh, both hash-based and intra-cluster re-distribution
+  (Sec. IV-C / VI).
+
+Security-relevant behaviours are counted in the network trace under
+``"drop.*"`` so tests and attack experiments can assert on them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.crypto.aead import AuthenticationError
+from repro.crypto.keys import KeyErasedError, SymmetricKey
+from repro.crypto.mac import mac, verify
+from repro.protocol import messages
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.forwarding import (
+    DedupCache,
+    ReplayedMessage,
+    StaleMessage,
+    build_inner,
+    parse_inner,
+    unwrap_hop,
+    wrap_hop,
+)
+from repro.protocol.state import NodeState, Preload, Role
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.aggregation import FusionFilter
+    from repro.sim.node import SensorNode
+
+
+class ProtocolError(RuntimeError):
+    """API misuse, e.g. sending data before key setup completed."""
+
+
+class ProtocolAgent:
+    """Node-side implementation of the localized key-management protocol."""
+
+    def __init__(
+        self,
+        node: "SensorNode",
+        config: ProtocolConfig,
+        preload: Preload,
+        timer_rng,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.state = NodeState(node_id=node.id, preload=preload)
+        self._rng = timer_rng
+        self._trace = node.network.trace
+        self._dedup = DedupCache(config.dedup_cache_size)
+        self._hello_timer = None
+        self.operational = False
+        #: Optional in-network data-fusion hook (Sec. II, "intermediate
+        #: node accessibility of data"); see :mod:`repro.protocol.aggregation`.
+        self.fusion: "FusionFilter | None" = None
+        #: Per-cluster refresh epochs applied via REFRESH messages.
+        self._refresh_epochs: dict[int, int] = {}
+        #: Unconstrained re-clustering state (epoch, staged keys).
+        self._reelect_epoch = 0
+        self._reelect_active = False
+        self._reelect_decided = True
+        self._reelect_timer = None
+        self._staged_keys: dict[int, bytes] = {}
+        self._staged_cid: int | None = None
+        #: Readings this node delivered locally (for tests and examples).
+        self.forwarded_count = 0
+
+    # ------------------------------------------------------------------
+    # Key setup (Sec. IV-B)
+    # ------------------------------------------------------------------
+
+    def start_setup(self) -> None:
+        """Arm the phase-1 election timer and the phase-2/finish schedule."""
+        cfg = self.config
+        delay = float(self._rng.exponential(cfg.mean_hello_delay_s))
+        # A node whose exponential draw exceeds phase 1 simply declares
+        # itself head when phase 2 begins (the paper's singleton case).
+        delay = min(delay, cfg.cluster_phase_duration_s * 0.999)
+        self._hello_timer = self.node.schedule(delay, self._fire_hello)
+        link_at = cfg.cluster_phase_duration_s + float(self._rng.uniform(0.0, cfg.link_jitter_s))
+        self.node.schedule(link_at, self._broadcast_linkinfo)
+        self.node.schedule(cfg.setup_end_s, self._finish_setup)
+
+    def _fire_hello(self) -> None:
+        """Election timer expired: declare clusterhead and broadcast HELLO."""
+        st = self.state
+        if st.decided:
+            return
+        st.role = Role.HEAD
+        st.cid = st.node_id
+        st.keyring.store(st.node_id, st.preload.cluster_key)
+        frame = messages.encode_hello(
+            st.preload.master_key.material,
+            st.node_id,
+            st.preload.cluster_key.material,
+            self.config.aead,
+        )
+        self._trace.count("tx.hello")
+        self._trace.count("tx.setup")
+        self.node.broadcast(frame)
+
+    def _on_hello(self, frame: bytes) -> None:
+        st = self.state
+        if st.preload.master_key.erased:
+            # Post-setup HELLOs are meaningless (and HELLO-flood fodder).
+            self._trace.count("drop.hello_after_setup")
+            return
+        try:
+            head_id, cluster_key = messages.decode_hello(
+                st.preload.master_key.material, frame, self.config.aead
+            )
+        except (messages.MalformedMessage, AuthenticationError):
+            self._trace.count("drop.hello_bad_auth")
+            return
+        if st.decided:
+            # Already a member or head: reject (paper, Sec. IV-B.1 case 2).
+            self._trace.count("drop.hello_already_decided")
+            return
+        st.role = Role.MEMBER
+        st.cid = head_id
+        st.keyring.store(head_id, SymmetricKey(cluster_key, label=f"Kc[{head_id}]"))
+        if self._hello_timer is not None:
+            self._hello_timer.cancel()
+        self._trace.count("join.member")
+
+    def _broadcast_linkinfo(self) -> None:
+        """Phase 2: every node broadcasts its cluster's key once."""
+        st = self.state
+        if not st.decided:
+            # The exponential cap above makes this unreachable in normal
+            # runs, but failure injection (lost HELLOs with radio loss)
+            # can leave a node undecided: it becomes a singleton head now.
+            self._fire_hello()
+        frame = messages.encode_linkinfo(
+            st.preload.master_key.material,
+            st.node_id,
+            st.cid,
+            st.keyring.get(st.cid).material,
+            self.config.aead,
+        )
+        self._trace.count("tx.linkinfo")
+        self._trace.count("tx.setup")
+        self.node.broadcast(frame)
+
+    def _on_linkinfo(self, frame: bytes) -> None:
+        st = self.state
+        if st.preload.master_key.erased:
+            self._trace.count("drop.linkinfo_after_setup")
+            return
+        try:
+            _sender, cid, cluster_key = messages.decode_linkinfo(
+                st.preload.master_key.material, frame, self.config.aead
+            )
+        except (messages.MalformedMessage, AuthenticationError):
+            self._trace.count("drop.linkinfo_bad_auth")
+            return
+        if cid == st.cid:
+            # Same-cluster broadcast: ignore (paper, Sec. IV-B.2).
+            return
+        if not st.keyring.has(cid):
+            st.keyring.store(cid, SymmetricKey(cluster_key, label=f"Kc[{cid}]"))
+            self._trace.count("link.neighbor_cluster")
+
+    def _finish_setup(self) -> None:
+        """Erase ``K_m`` and demote heads: the network becomes operational.
+
+        "From this point on, cluster heads turn to normal members, as there
+        is no more need for a hierarchical structure." (Sec. IV-B.1)
+        """
+        st = self.state
+        st.preload.master_key.erase()
+        if st.role is Role.HEAD:
+            st.role = Role.MEMBER
+        self.operational = True
+
+    # ------------------------------------------------------------------
+    # Data plane (Sec. IV-C)
+    # ------------------------------------------------------------------
+
+    def send_reading(self, reading: bytes) -> None:
+        """Originate a sensor reading towards the base station.
+
+        Applies Step 1 when end-to-end encryption is configured, then
+        Step 2 with this node's cluster key, and makes *one* broadcast.
+        """
+        st = self.state
+        if not self.operational:
+            raise ProtocolError("key setup has not completed")
+        if st.cid is None or not st.keyring.has(st.cid):
+            raise ProtocolError("node has no cluster key (evicted or orphaned)")
+        if self.config.end_to_end_encryption:
+            c1 = build_inner(
+                st.node_id,
+                reading,
+                st.preload.node_key.material,
+                st.next_e2e_counter(),
+                self.config.aead,
+                explicit_counter=self.config.e2e_counter_mode == "explicit",
+            )
+        else:
+            c1 = build_inner(st.node_id, reading, None, None, self.config.aead)
+        self._dedup.seen_before(c1)  # never re-forward our own message
+        self._trace.count("tx.data_origin")
+        self._transmit_hop(c1)
+
+    def _transmit_hop(self, c1: bytes) -> None:
+        st = self.state
+        frame = wrap_hop(
+            st.keyring.get(st.cid).material,
+            st.cid,
+            st.node_id,
+            st.next_hop_seq(),
+            st.hops_to_bs,
+            self.node.network.sim.now,
+            c1,
+            self.config.aead,
+        )
+        self._trace.count("tx.data")
+        self.node.broadcast(frame)
+
+    def _on_data(self, frame: bytes) -> None:
+        st = self.state
+        if not self.operational:
+            self._trace.count("drop.data_before_operational")
+            return
+        try:
+            header, _ = messages.decode_data(frame)
+        except messages.MalformedMessage:
+            self._trace.count("drop.data_malformed")
+            return
+        if not st.keyring.has(header.cid):
+            # Not a neighboring cluster (or revoked): cannot authenticate.
+            self._trace.count("drop.data_unknown_cluster")
+            return
+        try:
+            header, c1 = unwrap_hop(
+                st.keyring.get(header.cid).material,
+                frame,
+                self.node.network.sim.now,
+                self.config.freshness_window_s,
+                self.config.aead,
+            )
+        except (AuthenticationError, messages.MalformedMessage):
+            self._trace.count("drop.data_bad_auth")
+            return
+        except StaleMessage:
+            self._trace.count("drop.data_stale")
+            return
+        except KeyErasedError:
+            self._trace.count("drop.data_unknown_cluster")
+            return
+        if not st.accept_hop_seq(header.sender, header.seq):
+            self._trace.count("drop.data_replay")
+            return
+        if self._dedup.seen_before(c1):
+            self._trace.count("drop.data_duplicate")
+            return
+        self._process_inner(header, c1)
+
+    def _process_inner(self, header: messages.DataHeader, c1: bytes) -> None:
+        """Data-fusion hook, then the gradient forwarding decision."""
+        st = self.state
+        envelope = parse_inner(c1)
+        if self.fusion is not None and not envelope.encrypted:
+            # "Nodes can 'peak' at encrypted data using their cluster key
+            # and decide upon forwarding or discarding redundant
+            # information" — with Step 1 off the reading itself is visible.
+            if self.fusion.should_discard(envelope.payload):
+                self._trace.count("drop.data_fused")
+                return
+        if st.hops_to_bs < 0 or header.hops_to_bs < 0:
+            self._trace.count("drop.data_no_route")
+            return
+        if st.hops_to_bs >= header.hops_to_bs:
+            # Uphill or sideways: not on a shortest path, stay silent.
+            self._trace.count("drop.data_uphill")
+            return
+        if st.cid is None or not st.keyring.has(st.cid):
+            self._trace.count("drop.data_no_cluster_key")
+            return
+        self.forwarded_count += 1
+        if self.config.forward_jitter_s > 0:
+            delay = float(self._rng.uniform(0.0, self.config.forward_jitter_s))
+            self.node.schedule(delay, lambda: self._forward_later(c1))
+        else:
+            self._transmit_hop(c1)
+
+    def _forward_later(self, c1: bytes) -> None:
+        """Jittered forward; re-checks the keys (revocation may have
+        landed between reception and the timer firing)."""
+        st = self.state
+        if not self.node.alive or st.cid is None or not st.keyring.has(st.cid):
+            self._trace.count("drop.data_no_cluster_key")
+            return
+        self._transmit_hop(c1)
+
+    # ------------------------------------------------------------------
+    # Revocation (Sec. IV-D)
+    # ------------------------------------------------------------------
+
+    def _on_revoke(self, frame: bytes) -> None:
+        st = self.state
+        try:
+            index, chain_key, cids, tag = messages.decode_revoke(frame, self.config.tag_len)
+        except messages.MalformedMessage:
+            self._trace.count("drop.revoke_malformed")
+            return
+        if not st.chain.verify(index, chain_key):
+            # Replayed index or a key that does not hash to the commitment.
+            self._trace.count("drop.revoke_bad_chain")
+            return
+        if not verify(chain_key, messages.revoke_mac_input(index, cids), tag):
+            self._trace.count("drop.revoke_bad_mac")
+            return
+        for cid in cids:
+            if st.keyring.has(cid):
+                st.keyring.remove(cid)
+                self._trace.count("revoke.key_deleted")
+            self._refresh_epochs.pop(cid, None)
+            if cid == st.cid:
+                # Our own cluster was revoked: we can no longer originate.
+                st.cid = None
+        self._trace.count("rx.revoke_applied")
+        # Flood onward exactly once (chain.verify rejects re-receptions).
+        self._trace.count("tx.revoke_flood")
+        self.node.broadcast(frame)
+
+    # ------------------------------------------------------------------
+    # New-node addition, responder side (Sec. IV-E)
+    # ------------------------------------------------------------------
+
+    def _on_join_req(self, frame: bytes) -> None:
+        st = self.state
+        if not self.operational or st.cid is None or not st.keyring.has(st.cid):
+            return
+        try:
+            new_id = messages.decode_join_req(frame)
+        except messages.MalformedMessage:
+            self._trace.count("drop.join_req_malformed")
+            return
+        cid = st.cid
+        tag = mac(
+            st.keyring.get(cid).material,
+            messages.join_resp_mac_input(cid, new_id),
+            self.config.tag_len,
+        )
+        resp = messages.encode_join_resp(cid, tag)
+        delay = float(self._rng.uniform(0.0, self.config.join_response_jitter_s))
+        self.node.schedule(delay, lambda: self._send_join_resp(resp))
+
+    def _send_join_resp(self, resp: bytes) -> None:
+        self._trace.count("tx.join_resp")
+        self.node.broadcast(resp)
+
+    # ------------------------------------------------------------------
+    # Key refresh (Sec. IV-C / VI)
+    # ------------------------------------------------------------------
+
+    def apply_hash_refresh(self) -> None:
+        """Hash-based refresh: replace every stored key K with F(K).
+
+        Purely local ("renew the cluster keys by periodically hashing these
+        keys at fixed time intervals") — no messages, nothing for an
+        adversary to exploit, which is why Sec. VI prefers it.
+        """
+        from repro.crypto.kdf import refresh_key  # local import: avoid cycle
+
+        st = self.state
+        for cid in st.keyring.cluster_ids():
+            old = st.keyring.get(cid)
+            st.keyring.store(cid, SymmetricKey(refresh_key(old.material), label=old.label))
+            old.erase()
+        st.refresh_epoch += 1
+
+    def _on_refresh(self, frame: bytes) -> None:
+        st = self.state
+        try:
+            cid, epoch = messages.refresh_header(frame)
+        except messages.MalformedMessage:
+            self._trace.count("drop.refresh_malformed")
+            return
+        if not st.keyring.has(cid):
+            self._trace.count("drop.refresh_unknown_cluster")
+            return
+        if epoch <= self._refresh_epochs.get(cid, 0):
+            self._trace.count("drop.refresh_replay")
+            return
+        old = st.keyring.get(cid)
+        try:
+            _, _, new_key = messages.decode_refresh(old.material, frame, self.config.aead)
+        except (AuthenticationError, messages.MalformedMessage):
+            self._trace.count("drop.refresh_bad_auth")
+            return
+        st.keyring.store(cid, SymmetricKey(new_key, label=old.label))
+        old.erase()
+        self._refresh_epochs[cid] = epoch
+        self._trace.count("refresh.applied")
+        # Re-flood once so every holder of the old key hears the refresh:
+        # the initiator reaches the cluster members (all within one hop of
+        # the head), and their re-broadcasts reach the edge nodes of
+        # neighboring clusters. The epoch check above stops the flood.
+        self._trace.count("tx.refresh_flood")
+        self.node.broadcast(frame)
+
+    def originate_refresh(self, new_key: bytes, epoch: int) -> None:
+        """Broadcast a new key for this node's cluster under the old key.
+
+        Used by the "recluster" refresh strategy: one member per cluster
+        (the orchestrator's pick) generates and distributes the
+        replacement. Constrained within existing clusters, which is the
+        paper's defense against HELLO-flood at refresh time.
+        """
+        st = self.state
+        if st.cid is None or not st.keyring.has(st.cid):
+            raise ProtocolError("cannot refresh without a cluster key")
+        frame = messages.encode_refresh(
+            st.keyring.get(st.cid).material, st.cid, epoch, new_key, self.config.aead
+        )
+        self._trace.count("tx.refresh")
+        self.node.broadcast(frame)
+        # Apply locally through the same handler path.
+        self._on_refresh(frame)
+
+    # ------------------------------------------------------------------
+    # Unconstrained re-clustering refresh (Sec. IV-C, first variant)
+    # ------------------------------------------------------------------
+    #
+    # "Sensor nodes can repeat the key setup phase with a predefined
+    # period in order to form new clusters and new cluster keys. Since
+    # K_m is no longer available ... the current cluster key may be used
+    # by the nodes instead." This is the variant Sec. VI then shows to be
+    # HELLO-floodable by an attacker holding a stolen cluster key; it is
+    # implemented so the refresh-strategy experiment can demonstrate both
+    # the attack and why the constrained/hashing defenses close it.
+
+    def begin_reelection(self, epoch: int, phase_duration_s: float) -> None:
+        """Arm this node for a new-cluster election round.
+
+        Schedule mirrors the initial setup: an exponential election timer
+        within ``phase_duration_s``, then a link re-broadcast jittered
+        just after it (so neighbors re-learn cross-cluster keys).
+        """
+        st = self.state
+        if st.cid is None or not st.keyring.has(st.cid):
+            # Orphaned nodes cannot authenticate an election message.
+            return
+        self._reelect_epoch = epoch
+        self._reelect_active = True
+        self._reelect_decided = False
+        self._staged_keys = {}
+        self._staged_cid = None
+        delay = min(
+            float(self._rng.exponential(self.config.mean_hello_delay_s)),
+            phase_duration_s * 0.999,
+        )
+        self._reelect_timer = self.node.schedule(delay, self._fire_reelect_hello)
+        link_at = phase_duration_s + float(self._rng.uniform(0.0, self.config.link_jitter_s))
+        self.node.schedule(link_at, self._broadcast_reelect_link)
+
+    def _fire_reelect_hello(self) -> None:
+        st = self.state
+        if not self._reelect_active or self._reelect_decided:
+            return
+        new_key = self._rng.integers(0, 256, size=16, dtype="uint8").tobytes()
+        self._reelect_decided = True
+        self._staged_cid = st.node_id
+        self._staged_keys[st.node_id] = new_key
+        frame = messages.encode_reelect_hello(
+            st.keyring.get(st.cid).material,
+            st.cid,
+            st.node_id,
+            self._reelect_epoch,
+            new_key,
+            self.config.aead,
+        )
+        self._trace.count("tx.reelect_hello")
+        self.node.broadcast(frame)
+
+    def _broadcast_reelect_link(self) -> None:
+        """Link phase of re-election: re-announce the joined cluster's key
+        under the old cluster key, for neighboring clusters' edge nodes."""
+        st = self.state
+        if not self._reelect_active or self._staged_cid is None:
+            return
+        if st.cid is None or not st.keyring.has(st.cid):
+            return
+        frame = messages.encode_reelect_hello(
+            st.keyring.get(st.cid).material,
+            st.cid,
+            st.node_id,
+            self._reelect_epoch,
+            self._staged_keys[self._staged_cid],
+            self.config.aead,
+            new_cid=self._staged_cid,
+        )
+        self._trace.count("tx.reelect_link")
+        self.node.broadcast(frame)
+
+    def _on_reelect_hello(self, frame: bytes) -> None:
+        st = self.state
+        if not self._reelect_active:
+            self._trace.count("drop.reelect_inactive")
+            return
+        try:
+            old_cid, _sender, epoch = messages.reelect_header(frame)
+        except messages.MalformedMessage:
+            self._trace.count("drop.reelect_malformed")
+            return
+        if epoch != self._reelect_epoch or not st.keyring.has(old_cid):
+            self._trace.count("drop.reelect_unusable")
+            return
+        try:
+            _, sender, _, new_cid, new_key = messages.decode_reelect_hello(
+                st.keyring.get(old_cid).material, frame, self.config.aead
+            )
+        except (AuthenticationError, messages.MalformedMessage):
+            self._trace.count("drop.reelect_bad_auth")
+            return
+        # Learn the new cluster's key either way (neighbor-cluster link).
+        self._staged_keys[new_cid] = new_key
+        if sender == new_cid and not self._reelect_decided:
+            # A head declaration from within radio range: join it.
+            self._reelect_decided = True
+            self._staged_cid = new_cid
+            if self._reelect_timer is not None:
+                self._reelect_timer.cancel()
+            self._trace.count("reelect.joined")
+
+    def finish_reelection(self) -> None:
+        """Swap the staged keys in: the new clustering becomes operative."""
+        st = self.state
+        if not self._reelect_active:
+            return
+        self._reelect_active = False
+        if self._staged_cid is None:
+            # Heard nothing and never fired (only possible for orphans).
+            return
+        for cid in st.keyring.cluster_ids():
+            st.keyring.remove(cid)
+        for cid, key in self._staged_keys.items():
+            st.keyring.store(cid, SymmetricKey(key, label=f"Kc[{cid}]"))
+        st.cid = self._staged_cid
+        st.role = Role.MEMBER
+        self._staged_keys = {}
+
+    # ------------------------------------------------------------------
+    # Frame dispatch
+    # ------------------------------------------------------------------
+
+    _DISPATCH: dict[int, str] = {
+        messages.HELLO: "_on_hello",
+        messages.LINKINFO: "_on_linkinfo",
+        messages.DATA: "_on_data",
+        messages.REVOKE: "_on_revoke",
+        messages.JOIN_REQ: "_on_join_req",
+        messages.REFRESH: "_on_refresh",
+        messages.REELECT_HELLO: "_on_reelect_hello",
+    }
+
+    def on_frame(self, sender_id: int, frame: bytes) -> None:
+        """Link-layer entry point. ``sender_id`` is unauthenticated and is
+        deliberately ignored by every handler."""
+        if not frame:
+            return
+        handler_name = self._DISPATCH.get(frame[0])
+        if handler_name is None:
+            self._trace.count("drop.unknown_type")
+            return
+        handler: Callable[[bytes], None] = getattr(self, handler_name)
+        handler(frame)

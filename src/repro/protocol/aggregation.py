@@ -1,0 +1,101 @@
+"""In-network data fusion (Sec. II, "Intermediate Node Accessibility of Data").
+
+The paper's motivating property: because every node shares one cluster key
+with all of its neighbors, intermediate nodes can decrypt the hop layer
+and "decide upon forwarding or discarding redundant information". With
+Step 1 disabled, the reading itself is visible to forwarders and richer
+fusion policies apply; with Step 1 enabled, forwarders still suppress
+byte-identical duplicates via the path-invariant inner blob (handled in
+:class:`repro.protocol.forwarding.DedupCache`).
+
+This module provides a tiny reading codec plus two fusion policies used by
+the examples and the aggregation ablation bench.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from typing import Protocol
+
+_READING = struct.Struct(">IdI")
+
+
+def encode_reading(event_id: int, value: float, origin: int = 0) -> bytes:
+    """Serialize a reading: event id, measured value, originating node."""
+    return _READING.pack(event_id, value, origin)
+
+
+def decode_reading(payload: bytes) -> tuple[int, float, int]:
+    """Parse a reading; returns ``(event_id, value, origin)``.
+
+    Raises:
+        ValueError: wrong payload length.
+    """
+    if len(payload) != _READING.size:
+        raise ValueError(f"not a reading: {len(payload)} bytes")
+    return _READING.unpack(payload)
+
+
+class FusionFilter(Protocol):
+    """Decision hook a forwarder consults before relaying a plaintext reading."""
+
+    def should_discard(self, payload: bytes) -> bool:  # pragma: no cover
+        """True to drop the reading instead of forwarding it."""
+        ...
+
+
+class DuplicateEventFilter:
+    """Discard readings about an event this node already forwarded.
+
+    The classic redundancy case: several sensors observe the same physical
+    event and report it; interior nodes forward the first report and
+    suppress the rest, saving the transmissions the paper's energy
+    argument is about.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._seen: OrderedDict[int, None] = OrderedDict()
+        self.discarded = 0
+
+    def should_discard(self, payload: bytes) -> bool:
+        """Drop if the event id was seen before (non-readings pass through)."""
+        try:
+            event_id, _value, _origin = decode_reading(payload)
+        except ValueError:
+            return False
+        if event_id in self._seen:
+            self._seen.move_to_end(event_id)
+            self.discarded += 1
+            return True
+        self._seen[event_id] = None
+        if len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+        return False
+
+
+class ThresholdFilter:
+    """Discard readings whose magnitude is below a significance threshold.
+
+    Models "some processing of the raw data to discard extraneous
+    reports" [5]: uninteresting background readings are dropped in the
+    network instead of burning radio energy all the way to the sink.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+        self.discarded = 0
+
+    def should_discard(self, payload: bytes) -> bool:
+        """Drop if ``|value| < threshold`` (non-readings pass through)."""
+        try:
+            _event_id, value, _origin = decode_reading(payload)
+        except ValueError:
+            return False
+        if abs(value) < self.threshold:
+            self.discarded += 1
+            return True
+        return False

@@ -1,0 +1,290 @@
+"""Base-station side of the protocol.
+
+The base station "is given all the ID numbers and keys used in the network
+before the deployment phase" (Sec. IV-A): every node key ``K_i``, the
+cluster master key ``K_MC`` from which all candidate cluster keys derive,
+and the revocation key chain it alone can extend.
+
+Its runtime duties:
+
+* decrypt the hop layer of DATA frames arriving from in-range clusters
+  (any cluster key is derivable from ``K_MC`` and the refresh epoch);
+* open Step-1 envelopes with per-source counter recovery;
+* issue keychain-authenticated revocation commands (Sec. IV-D);
+* track recluster-refresh key updates for clusters within earshot.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.crypto.aead import AuthenticationError
+from repro.crypto.kdf import derive_cluster_key, refresh_key
+from repro.crypto.keychain import KeyChain
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.mac import mac
+from repro.protocol import messages
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.forwarding import (
+    CounterWindow,
+    DedupCache,
+    StaleMessage,
+    open_inner_windowed,
+    parse_inner,
+    unwrap_hop,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.node import SensorNode
+
+
+@dataclass
+class KeyRegistry:
+    """The pre-deployment key database held by the base station."""
+
+    node_keys: dict[int, SymmetricKey]
+    kmc: SymmetricKey
+    chain: KeyChain
+
+    def node_key(self, node_id: int) -> bytes:
+        """``K_i`` of node ``node_id``.
+
+        Raises:
+            KeyError: unknown node id (never provisioned).
+        """
+        return self.node_keys[node_id].material
+
+
+@dataclass
+class DeliveredReading:
+    """One reading accepted by the base station."""
+
+    time: float
+    source: int
+    data: bytes
+    was_encrypted: bool
+
+
+class BaseStationAgent:
+    """Application attached to the base-station node."""
+
+    def __init__(
+        self,
+        node: "SensorNode",
+        config: ProtocolConfig,
+        registry: KeyRegistry,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.registry = registry
+        self._trace = node.network.trace
+        self._dedup = DedupCache(config.dedup_cache_size)
+        #: Cached current cluster keys, kept in step with refreshes.
+        self._cluster_keys: dict[int, bytes] = {}
+        #: Whether unknown cids may still be derived from K_MC (turned off
+        #: once a re-clustering replaces keys with random ones).
+        self._derivation_enabled = True
+        #: Network-wide hash-refresh epoch the BS has applied.
+        self._hash_epoch = 0
+        #: Per-cluster recluster-refresh epochs seen via REFRESH frames.
+        self._refresh_epochs: dict[int, int] = {}
+        #: Per-source Step-1 anti-replay counter windows (bidirectional:
+        #: multi-path forwarding can reorder a source's messages).
+        self._e2e_windows: dict[int, CounterWindow] = {}
+        #: Anti-replay per hop sender, like any node.
+        self._last_seen_seq: dict[int, int] = {}
+        self.delivered: list[DeliveredReading] = []
+        self.rejected = 0
+        self.revoked_cids: set[int] = set()
+        #: Rejected-frame counts by claimed cluster id. The paper assumes
+        #: an external detection mechanism informs the BS of compromises;
+        #: this per-cluster anomaly telemetry is the raw signal such a
+        #: detector (or an operator) would consume.
+        self.rejections_by_cluster: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Cluster-key management
+    # ------------------------------------------------------------------
+
+    def cluster_key(self, cid: int) -> bytes:
+        """Current key of cluster ``cid`` as the BS understands it.
+
+        Raises:
+            KeyError: unknown cluster after derivation was disabled by a
+                re-clustering (``install_cluster_keys``).
+        """
+        if cid not in self._cluster_keys:
+            if not self._derivation_enabled:
+                raise KeyError(f"no key installed for cluster {cid}")
+            key = derive_cluster_key(self.registry.kmc.material, cid)
+            for _ in range(self._hash_epoch):
+                key = refresh_key(key)
+            self._cluster_keys[cid] = key
+        return self._cluster_keys[cid]
+
+    def apply_hash_refresh(self) -> None:
+        """Advance all cluster keys by one hash-refresh epoch."""
+        self._hash_epoch += 1
+        for cid, key in list(self._cluster_keys.items()):
+            self._cluster_keys[cid] = refresh_key(key)
+
+    def install_cluster_keys(self, keys: dict[int, bytes]) -> None:
+        """Replace the cluster-key map wholesale.
+
+        Used after an unconstrained re-clustering ("reelect" refresh):
+        new cluster keys are random, so ``K_MC`` derivation no longer
+        applies. This call stands in for BS-side tracking of the election
+        broadcasts, which the paper leaves unspecified.
+        """
+        self._cluster_keys = dict(keys)
+        self._derivation_enabled = False
+
+    # ------------------------------------------------------------------
+    # Frame handling
+    # ------------------------------------------------------------------
+
+    def on_frame(self, sender_id: int, frame: bytes) -> None:
+        """Link-layer entry point (``sender_id`` untrusted, unused)."""
+        if not frame:
+            return
+        if frame[0] == messages.DATA:
+            self._on_data(frame)
+        elif frame[0] == messages.REFRESH:
+            self._on_refresh(frame)
+        # Other traffic (setup, joins, its own revocations) is ignored.
+
+    def _reject(self, cid: int | None = None) -> None:
+        """Count a rejected frame, attributed to its claimed cluster."""
+        self.rejected += 1
+        if cid is not None:
+            self.rejections_by_cluster[cid] += 1
+
+    def suspicious_clusters(self, threshold: int = 5) -> list[int]:
+        """Cluster ids whose rejected-frame count exceeds ``threshold`` —
+        the anomaly signal an external detection mechanism would act on."""
+        return sorted(
+            cid for cid, k in self.rejections_by_cluster.items() if k >= threshold
+        )
+
+    def _on_data(self, frame: bytes) -> None:
+        try:
+            header, _ = messages.decode_data(frame)
+        except messages.MalformedMessage:
+            self._reject()
+            return
+        if header.cid in self.revoked_cids:
+            self._trace.count("bs.drop_revoked_cluster")
+            self._reject(header.cid)
+            return
+        try:
+            header, c1 = unwrap_hop(
+                self.cluster_key(header.cid),
+                frame,
+                self.node.network.sim.now,
+                self.config.freshness_window_s,
+                self.config.aead,
+            )
+        except KeyError:
+            self._trace.count("bs.drop_unknown_cluster")
+            self._reject(header.cid)
+            return
+        except (AuthenticationError, messages.MalformedMessage):
+            self._trace.count("bs.drop_bad_auth")
+            self._reject(header.cid)
+            return
+        except StaleMessage:
+            self._trace.count("bs.drop_stale")
+            self._reject(header.cid)
+            return
+        if header.seq <= self._last_seen_seq.get(header.sender, 0):
+            self._trace.count("bs.drop_replay")
+            self._reject(header.cid)
+            return
+        self._last_seen_seq[header.sender] = header.seq
+        if self._dedup.seen_before(c1):
+            # The same logical reading arriving over several paths is
+            # expected with gradient forwarding; count it, don't reject it.
+            self._trace.count("bs.duplicate_path")
+            return
+        self._accept_inner(c1)
+
+    def _accept_inner(self, c1: bytes) -> None:
+        try:
+            envelope = parse_inner(c1)
+        except ValueError:
+            self.rejected += 1
+            return
+        if not envelope.encrypted:
+            self.delivered.append(
+                DeliveredReading(
+                    self.node.network.sim.now, envelope.source, envelope.payload, False
+                )
+            )
+            self._trace.count("bs.delivered")
+            return
+        try:
+            node_key = self.registry.node_key(envelope.source)
+        except KeyError:
+            self._trace.count("bs.drop_unknown_source")
+            self.rejected += 1
+            return
+        window = self._e2e_windows.get(envelope.source)
+        if window is None:
+            window = self._e2e_windows[envelope.source] = CounterWindow(
+                self.config.counter_window
+            )
+        try:
+            reading, _counter = open_inner_windowed(
+                envelope, node_key, window, self.config.aead
+            )
+        except AuthenticationError:
+            self._trace.count("bs.drop_e2e_auth")
+            self._reject()
+            return
+        self.delivered.append(
+            DeliveredReading(self.node.network.sim.now, envelope.source, reading, True)
+        )
+        self._trace.count("bs.delivered")
+
+    def _on_refresh(self, frame: bytes) -> None:
+        """Track recluster refreshes of clusters within earshot."""
+        try:
+            cid, epoch = messages.refresh_header(frame)
+        except messages.MalformedMessage:
+            return
+        if cid in self.revoked_cids or epoch <= self._refresh_epochs.get(cid, 0):
+            return
+        try:
+            _, _, new_key = messages.decode_refresh(
+                self.cluster_key(cid), frame, self.config.aead
+            )
+        except (AuthenticationError, messages.MalformedMessage, KeyError):
+            return
+        self._cluster_keys[cid] = new_key
+        self._refresh_epochs[cid] = epoch
+
+    # ------------------------------------------------------------------
+    # Revocation (Sec. IV-D)
+    # ------------------------------------------------------------------
+
+    def revoke_clusters(self, cids: list[int]) -> bytes:
+        """Issue and broadcast a revocation command for ``cids``.
+
+        Returns the frame (so tests and multi-hop floods can reuse it).
+        The next chain key authenticates the command; nodes flood it on.
+        """
+        index, chain_key = self.registry.chain.reveal_next()
+        tag = mac(chain_key, messages.revoke_mac_input(index, cids), self.config.tag_len)
+        frame = messages.encode_revoke(index, chain_key, cids, tag)
+        self.revoked_cids.update(cids)
+        for cid in cids:
+            self._cluster_keys.pop(cid, None)
+        self._trace.count("bs.revoke_issued")
+        self.node.broadcast(frame)
+        return frame
+
+    def readings_from(self, source: int) -> list[DeliveredReading]:
+        """Delivered readings originated by ``source``."""
+        return [r for r in self.delivered if r.source == source]

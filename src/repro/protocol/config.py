@@ -1,0 +1,122 @@
+"""Protocol configuration.
+
+All tunables of the paper's protocol in one frozen dataclass, validated at
+construction. The defaults reproduce the paper's simulation setting; the
+ablation benches sweep individual fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aead import AeadConfig
+from repro.util.validate import check_positive
+
+#: Key-refresh strategies of Sec. IV-C / VI. ``"rehash"`` replaces every
+#: cluster key K with F(K) in place (the variant the paper recommends
+#: against HELLO-flood at refresh); ``"recluster"`` re-runs key
+#: distribution within existing clusters under the current cluster key;
+#: ``"reelect"`` is the paper's first proposal — a full new election under
+#: current cluster keys — kept to demonstrate the Sec. VI HELLO-flood
+#: vulnerability that motivates the other two.
+REFRESH_STRATEGIES = ("rehash", "recluster", "reelect")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables for one protocol deployment."""
+
+    # -- crypto -------------------------------------------------------------
+    cipher: str = "speck64/128"
+    tag_len: int = 8
+
+    # -- cluster key setup (Sec. IV-B) ---------------------------------------
+    #: Mean of the exponential clusterhead-election delay. The *rate* is
+    #: its inverse; the paper notes singleton clusters are "minimized by
+    #: the right exponential distribution" — the timer ablation sweeps this.
+    mean_hello_delay_s: float = 0.5
+    #: When phase 2 (secure link establishment) begins. Must comfortably
+    #: exceed the election delays plus HELLO airtime so every node has
+    #: decided its role.
+    cluster_phase_duration_s: float = 5.0
+    #: Link-info broadcasts are jittered uniformly over this window to
+    #: avoid synchronized collisions.
+    link_jitter_s: float = 1.0
+    #: Extra settling time after the last possible link broadcast before
+    #: K_m is erased and the network is declared operational.
+    settle_margin_s: float = 1.0
+
+    # -- secure forwarding (Sec. IV-C) ---------------------------------------
+    #: Step 1 on/off: end-to-end encryption of readings under K_i. Off
+    #: enables in-network data fusion on plaintext readings.
+    end_to_end_encryption: bool = True
+    #: Counter handling for Step 1 (Sec. IV-C leaves "the choice to the
+    #: particular deployment scenario"): "implicit" maintains the counter
+    #: at both ends and recovers desync with a trial window; "explicit"
+    #: transmits the counter (6 extra bytes/message) and never desyncs.
+    e2e_counter_mode: str = "implicit"
+    #: How many counter values past the last synchronized one the base
+    #: station tries when decrypting Step-1 payloads ("the receiver can
+    #: try a small window of counter values").
+    counter_window: int = 32
+    #: Hop-layer freshness: frames whose timestamp τ is older are dropped.
+    freshness_window_s: float = 30.0
+    #: Random delay before re-transmitting a forwarded frame. One
+    #: reception triggers several downhill forwarders at once; without
+    #: jitter they all key up simultaneously and collide (the classic
+    #: flooding broadcast storm). Zero disables (useful for step-debug
+    #: tests); has no effect on the single transmission a source makes.
+    forward_jitter_s: float = 0.05
+    #: Bound on the per-node duplicate-suppression cache.
+    dedup_cache_size: int = 4096
+
+    # -- maintenance ----------------------------------------------------------
+    refresh_strategy: str = "rehash"
+    #: Length of the base station's revocation key chain.
+    revocation_chain_length: int = 64
+    #: How long a joining node collects JOIN_RESP messages.
+    join_window_s: float = 1.0
+    #: Max delay of a JOIN_RESP (responders jitter to avoid collisions).
+    join_response_jitter_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("mean_hello_delay_s", self.mean_hello_delay_s)
+        check_positive("cluster_phase_duration_s", self.cluster_phase_duration_s)
+        check_positive("link_jitter_s", self.link_jitter_s)
+        check_positive("settle_margin_s", self.settle_margin_s)
+        check_positive("freshness_window_s", self.freshness_window_s)
+        check_positive("join_window_s", self.join_window_s)
+        check_positive("join_response_jitter_s", self.join_response_jitter_s)
+        if self.counter_window < 1:
+            raise ValueError("counter_window must be >= 1")
+        if self.e2e_counter_mode not in ("implicit", "explicit"):
+            raise ValueError(
+                f"e2e_counter_mode must be 'implicit' or 'explicit', "
+                f"got {self.e2e_counter_mode!r}"
+            )
+        if self.dedup_cache_size < 1:
+            raise ValueError("dedup_cache_size must be >= 1")
+        if self.forward_jitter_s < 0:
+            raise ValueError("forward_jitter_s must be >= 0")
+        if self.refresh_strategy not in REFRESH_STRATEGIES:
+            raise ValueError(
+                f"refresh_strategy must be one of {REFRESH_STRATEGIES}, "
+                f"got {self.refresh_strategy!r}"
+            )
+        if self.revocation_chain_length < 1:
+            raise ValueError("revocation_chain_length must be >= 1")
+        if self.cluster_phase_duration_s < 4 * self.mean_hello_delay_s:
+            raise ValueError(
+                "cluster_phase_duration_s should be at least 4x the mean "
+                "HELLO delay or nodes may still be undecided at phase 2"
+            )
+
+    @property
+    def aead(self) -> AeadConfig:
+        """The AEAD parameters implied by this configuration."""
+        return AeadConfig(cipher=self.cipher, tag_len=self.tag_len)
+
+    @property
+    def setup_end_s(self) -> float:
+        """Simulation time at which key setup completes and K_m is erased."""
+        return self.cluster_phase_duration_s + self.link_jitter_s + self.settle_margin_s

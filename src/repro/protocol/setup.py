@@ -1,0 +1,119 @@
+"""Provisioning and key-setup orchestration.
+
+:func:`provision` performs the paper's initialization phase (Sec. IV-A):
+it manufactures per-node key material — ``K_i``, ``K_ci = F(K_MC, i)``,
+a private copy of ``K_m`` and the revocation-chain commitment — attaches a
+:class:`ProtocolAgent` to every sensor and a :class:`BaseStationAgent` to
+the base station, and hands the full key database to the base station.
+
+:func:`run_key_setup` then executes the cluster key setup (Sec. IV-B) in
+simulated time and returns the deployed, operational protocol together
+with the :class:`~repro.protocol.metrics.SetupMetrics` that Section V's
+figures are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import derive_cluster_key
+from repro.crypto.keychain import KeyChain
+from repro.crypto.keys import SymmetricKey
+from repro.protocol.agent import ProtocolAgent
+from repro.protocol.base_station import BaseStationAgent, KeyRegistry
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.metrics import SetupMetrics, compute_setup_metrics
+from repro.sim.network import Network
+
+
+@dataclass
+class DeployedProtocol:
+    """A provisioned (and, after :func:`run_key_setup`, operational) network."""
+
+    network: Network
+    config: ProtocolConfig
+    agents: dict[int, ProtocolAgent]
+    bs_agent: BaseStationAgent
+    registry: KeyRegistry
+
+    def agent(self, node_id: int) -> ProtocolAgent:
+        """Agent of sensor ``node_id``."""
+        return self.agents[node_id]
+
+    def assign_gradient(self) -> None:
+        """Give every agent its hop distance to the base station.
+
+        The paper is routing-agnostic ("no matter what routing protocol is
+        followed"); we use a shortest-hop gradient as the routing
+        substrate. Re-run after topology changes (deaths, additions).
+        """
+        hops = self.network.hop_gradient()
+        for nid, agent in self.agents.items():
+            agent.state.hops_to_bs = hops[nid]
+
+
+def provision(network: Network, config: ProtocolConfig | None = None) -> DeployedProtocol:
+    """Initialization phase: manufacture keys and attach agents."""
+    config = config or ProtocolConfig()
+    key_rng = network.rng.stream("keys")
+    timer_rng = network.rng.stream("timers")
+
+    km_material = key_rng.integers(0, 256, size=16, dtype="uint8").tobytes()
+    kmc = SymmetricKey.generate(key_rng, label="K_MC")
+    chain_seed = key_rng.integers(0, 256, size=16, dtype="uint8").tobytes()
+    chain = KeyChain(config.revocation_chain_length, seed=chain_seed)
+
+    node_keys: dict[int, SymmetricKey] = {}
+    agents: dict[int, ProtocolAgent] = {}
+    from repro.protocol.state import Preload  # local import: avoid cycle at module load
+
+    for nid in network.sensor_ids():
+        ki = SymmetricKey.generate(key_rng, label=f"K[{nid}]")
+        node_keys[nid] = SymmetricKey(ki.material, label=f"K[{nid}]")  # BS copy
+        preload = Preload(
+            node_key=ki,
+            cluster_key=SymmetricKey(
+                derive_cluster_key(kmc.material, nid), label=f"Kc[{nid}]"
+            ),
+            master_key=SymmetricKey(km_material, label="K_m"),  # private copy
+            chain_commitment=chain.commitment,
+        )
+        node = network.node(nid)
+        agent = ProtocolAgent(node, config, preload, timer_rng)
+        node.app = agent
+        agents[nid] = agent
+
+    registry = KeyRegistry(node_keys=node_keys, kmc=kmc, chain=chain)
+    bs_agent = BaseStationAgent(network.bs, config, registry)
+    network.bs.app = bs_agent
+    return DeployedProtocol(network, config, agents, bs_agent, registry)
+
+
+def run_key_setup(
+    network: Network, config: ProtocolConfig | None = None
+) -> tuple[DeployedProtocol, SetupMetrics]:
+    """Provision, run the cluster key setup to completion, compute metrics.
+
+    After this returns, every node has a role and a cluster key, ``K_m``
+    is erased network-wide, the routing gradient is assigned and the data
+    plane is live.
+    """
+    deployed = provision(network, config)
+    for agent in deployed.agents.values():
+        agent.start_setup()
+    network.sim.run(until=deployed.config.setup_end_s)
+    deployed.assign_gradient()
+    metrics = compute_setup_metrics(deployed)
+    return deployed, metrics
+
+
+def deploy(
+    n: int,
+    density: float,
+    seed: int = 0,
+    config: ProtocolConfig | None = None,
+    **network_kwargs,
+) -> tuple[DeployedProtocol, SetupMetrics]:
+    """One-call convenience: build a network and run key setup on it."""
+    network = Network.build(n, density, seed=seed, **network_kwargs)
+    return run_key_setup(network, config)

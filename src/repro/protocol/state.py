@@ -1,0 +1,108 @@
+"""Per-node protocol state.
+
+Everything a mote stores for the protocol lives here: its role, cluster
+membership, the key ring ``S``, the preloaded keys, counters and caches.
+Keeping state in one inspectable object makes the metrics of Section V
+(keys per node, cluster sizes) direct attribute reads, and lets the
+adversary model (node capture) extract *exactly* what a physical attack
+would extract — no more, no less.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.crypto.keychain import ChainVerifier
+from repro.crypto.keys import KeyRing, SymmetricKey
+
+
+class Role(enum.Enum):
+    """Phase-1 role of a node (transient: heads demote after setup)."""
+
+    UNDECIDED = "undecided"
+    HEAD = "head"
+    MEMBER = "member"
+
+
+@dataclass
+class Preload:
+    """Key material loaded during manufacturing (Sec. IV-A).
+
+    ``node_key`` is ``K_i`` (shared with the base station), ``cluster_key``
+    is the candidate ``K_ci = F(K_MC, i)``, ``master_key`` is ``K_m``
+    (erased after setup). ``chain_commitment`` is ``K_0`` of the
+    revocation chain. New nodes additionally carry ``kmc`` (Sec. IV-E),
+    erased after joining.
+    """
+
+    node_key: SymmetricKey
+    cluster_key: SymmetricKey
+    master_key: SymmetricKey
+    chain_commitment: bytes
+    #: Chain position of the commitment (0 for nodes present at rollout;
+    #: later-deployed nodes are provisioned at the chain's current index).
+    chain_index: int = 0
+    kmc: SymmetricKey | None = None
+
+
+@dataclass
+class NodeState:
+    """Mutable protocol state of one node."""
+
+    node_id: int
+    preload: Preload
+    role: Role = Role.UNDECIDED
+    #: Cluster id (the head's node id) once decided.
+    cid: int | None = None
+    #: The set S: own cluster key plus neighboring clusters' keys.
+    keyring: KeyRing = field(default_factory=KeyRing)
+    #: Verifier state for the revocation chain.
+    chain: ChainVerifier | None = None
+    #: End-to-end counter towards the base station (Step 1).
+    e2e_counter: int = 0
+    #: Hop-layer sequence number for frames this node originates/forwards.
+    hop_seq: int = 0
+    #: Highest hop-layer seq seen per hop sender (anti-replay).
+    last_seen_seq: dict[int, int] = field(default_factory=dict)
+    #: Hop distance to the base station (gradient routing), -1 unknown.
+    hops_to_bs: int = -1
+    #: Key-refresh epoch this node has applied.
+    refresh_epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chain is None:
+            self.chain = ChainVerifier(
+                self.preload.chain_commitment, index=self.preload.chain_index
+            )
+
+    @property
+    def decided(self) -> bool:
+        """Whether phase 1 has assigned this node a role."""
+        return self.role is not Role.UNDECIDED
+
+    def next_hop_seq(self) -> int:
+        """Allocate a fresh hop-layer sequence number."""
+        self.hop_seq += 1
+        return self.hop_seq
+
+    def next_e2e_counter(self) -> int:
+        """Allocate a fresh end-to-end counter value (never reused)."""
+        self.e2e_counter += 1
+        return self.e2e_counter
+
+    def accept_hop_seq(self, sender: int, seq: int) -> bool:
+        """Anti-replay check: accept strictly increasing seq per sender.
+
+        Gaps are fine (loss); repeats and reordering below the high-water
+        mark are rejected, which is the standard mote-grade compromise
+        (a full sliding window costs RAM the paper's nodes do not have).
+        """
+        if seq <= self.last_seen_seq.get(sender, 0):
+            return False
+        self.last_seen_seq[sender] = seq
+        return True
+
+    def stored_key_count(self) -> int:
+        """The Fig. 6 metric: cluster keys this node stores."""
+        return len(self.keyring)

@@ -1,0 +1,98 @@
+"""Eschenauer–Gligor wire formats (separate type space, 80+)."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.aead import AeadConfig, open_, seal
+
+RING_ANNOUNCE = 80
+PATH_KEY_REQ = 81
+PATH_KEY_GRANT = 82
+
+KEY_LEN = 16
+
+_AD_REQ = b"ER"
+_AD_GRANT = b"EG"
+
+
+class MalformedRandKpMessage(ValueError):
+    """Structurally invalid E-G frame."""
+
+
+def encode_ring_announce(node_id: int, ring_ids: tuple[int, ...]) -> bytes:
+    """Shared-key discovery broadcast: the ring's key *ids*, in clear.
+
+    (E-G's basic variant; the ids reveal which pool keys a node holds but
+    not the keys themselves.)
+    """
+    if len(ring_ids) > 0xFFFF:
+        raise MalformedRandKpMessage("ring too large")
+    body = struct.pack(">IH", node_id, len(ring_ids))
+    body += b"".join(struct.pack(">I", k) for k in ring_ids)
+    return bytes([RING_ANNOUNCE]) + body
+
+
+def decode_ring_announce(frame: bytes) -> tuple[int, tuple[int, ...]]:
+    """Parse a ring announcement; returns ``(node_id, ring_ids)``."""
+    if len(frame) < 7 or frame[0] != RING_ANNOUNCE:
+        raise MalformedRandKpMessage("not a RING_ANNOUNCE")
+    node_id, count = struct.unpack_from(">IH", frame, 1)
+    if len(frame) != 7 + 4 * count:
+        raise MalformedRandKpMessage("bad RING_ANNOUNCE length")
+    ids = struct.unpack_from(f">{count}I", frame, 7) if count else ()
+    return node_id, tuple(ids)
+
+
+def encode_path_key_req(link_key: bytes, requester: int, relay: int, target: int,
+                        seq: int, aead: AeadConfig) -> bytes:
+    """Ask ``relay`` (over the secured requester-relay link) for a path key
+    to ``target``."""
+    header = struct.pack(">III", requester, relay, seq)
+    sealed = seal(link_key, seq, struct.pack(">I", target), _AD_REQ + header, aead)
+    return bytes([PATH_KEY_REQ]) + header + sealed
+
+
+def path_key_req_header(frame: bytes) -> tuple[int, int, int]:
+    """Peek ``(requester, relay, seq)``."""
+    if len(frame) < 13 or frame[0] != PATH_KEY_REQ:
+        raise MalformedRandKpMessage("not a PATH_KEY_REQ")
+    return struct.unpack_from(">III", frame, 1)
+
+
+def decode_path_key_req(link_key: bytes, frame: bytes, aead: AeadConfig) -> int:
+    """Verify and open; returns the target node id."""
+    requester, relay, seq = path_key_req_header(frame)
+    header = frame[1:13]
+    plaintext = open_(link_key, seq, frame[13:], _AD_REQ + header, aead)
+    if len(plaintext) != 4:
+        raise MalformedRandKpMessage("bad PATH_KEY_REQ plaintext")
+    return struct.unpack(">I", plaintext)[0]
+
+
+def encode_path_key_grant(link_key: bytes, relay: int, addressee: int, peer: int,
+                          seq: int, path_key: bytes, aead: AeadConfig) -> bytes:
+    """Deliver a freshly generated path key for the (addressee, peer) link."""
+    if len(path_key) != KEY_LEN:
+        raise MalformedRandKpMessage(f"path key must be {KEY_LEN} bytes")
+    header = struct.pack(">III", relay, addressee, seq)
+    plaintext = struct.pack(">I", peer) + path_key
+    sealed = seal(link_key, seq, plaintext, _AD_GRANT + header, aead)
+    return bytes([PATH_KEY_GRANT]) + header + sealed
+
+
+def path_key_grant_header(frame: bytes) -> tuple[int, int, int]:
+    """Peek ``(relay, addressee, seq)``."""
+    if len(frame) < 13 or frame[0] != PATH_KEY_GRANT:
+        raise MalformedRandKpMessage("not a PATH_KEY_GRANT")
+    return struct.unpack_from(">III", frame, 1)
+
+
+def decode_path_key_grant(link_key: bytes, frame: bytes, aead: AeadConfig) -> tuple[int, bytes]:
+    """Verify and open; returns ``(peer, path_key)``."""
+    relay, addressee, seq = path_key_grant_header(frame)
+    header = frame[1:13]
+    plaintext = open_(link_key, seq, frame[13:], _AD_GRANT + header, aead)
+    if len(plaintext) != 4 + KEY_LEN:
+        raise MalformedRandKpMessage("bad PATH_KEY_GRANT plaintext")
+    return struct.unpack(">I", plaintext[:4])[0], plaintext[4:]

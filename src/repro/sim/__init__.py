@@ -1,0 +1,33 @@
+"""Discrete-event wireless sensor network simulator.
+
+This subpackage is the substitute for SensorSimII (the Java simulator the
+paper used, no longer available): an event-driven engine, unit-disk
+broadcast radio with airtime/loss/collision accounting, an energy model
+with SPINS-era cost constants, random deployments with density control and
+a :class:`Network` facade tying them together.
+"""
+
+from repro.sim.energy import EnergyMeter, EnergyModel
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import BS_ID, Network
+from repro.sim.node import SensorNode
+from repro.sim.radio import Radio, RadioConfig
+from repro.sim.rng import RngManager
+from repro.sim.topology import Deployment, neighbor_lists
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "RngManager",
+    "Deployment",
+    "neighbor_lists",
+    "Radio",
+    "RadioConfig",
+    "EnergyModel",
+    "EnergyMeter",
+    "SensorNode",
+    "Network",
+    "BS_ID",
+    "Trace",
+]

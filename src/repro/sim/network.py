@@ -1,0 +1,144 @@
+"""The Network facade: deployment + nodes + base station + radio + clock.
+
+Builds every simulation object from a deployment and a master seed, and
+precomputes the adjacency map (including base-station links) that the
+radio consults on each broadcast. Supports post-deployment node addition
+(Sec. IV-E of the paper) by extending the adjacency incrementally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.energy import EnergyMeter, EnergyModel
+from repro.sim.engine import Simulator
+from repro.sim.node import SensorNode
+from repro.sim.radio import Radio, RadioConfig
+from repro.sim.rng import RngManager
+from repro.sim.topology import Deployment
+from repro.sim.trace import Trace
+
+#: Link-layer id of the base station. Ordinary nodes are numbered from 1 so
+#: that id 0 stays free as an explicit "unset" sentinel in wire formats.
+BS_ID = 0
+FIRST_NODE_ID = 1
+
+
+class Network:
+    """A deployed sensor network plus its base station."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        seed: int = 0,
+        radio_config: RadioConfig | None = None,
+        energy_model: EnergyModel | None = None,
+        bs_position: np.ndarray | None = None,
+    ) -> None:
+        self.deployment = deployment
+        self.sim = Simulator()
+        self.rng = RngManager(seed)
+        self.trace = Trace()
+        self.energy_model = energy_model or EnergyModel()
+        self.radio = Radio(self, radio_config or RadioConfig(), self.rng.stream("radio"))
+
+        self.nodes: dict[int, SensorNode] = {}
+        self._adjacency: dict[int, list[int]] = {}
+
+        # Ordinary sensors: deployment index i -> node id i + FIRST_NODE_ID.
+        for i in range(deployment.n):
+            nid = i + FIRST_NODE_ID
+            self.nodes[nid] = SensorNode(
+                self, nid, deployment.positions[i], EnergyMeter(self.energy_model)
+            )
+            self._adjacency[nid] = [int(j) + FIRST_NODE_ID for j in deployment.neighbors[i]]
+
+        # Base station: field center by default, mains-powered.
+        if bs_position is None:
+            bs_position = np.array([deployment.side / 2.0, deployment.side / 2.0])
+        self.bs = SensorNode(self, BS_ID, bs_position, EnergyMeter(self.energy_model))
+        self.nodes[BS_ID] = self.bs
+        bs_neighbors = [
+            int(j) + FIRST_NODE_ID
+            for j in deployment.nodes_within(bs_position, deployment.radius)
+        ]
+        self._adjacency[BS_ID] = bs_neighbors
+        for nid in bs_neighbors:
+            self._adjacency[nid].append(BS_ID)
+
+        self._next_node_id = deployment.n + FIRST_NODE_ID
+
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        density: float,
+        seed: int = 0,
+        radius: float = 10.0,
+        radio_config: RadioConfig | None = None,
+        energy_model: EnergyModel | None = None,
+    ) -> "Network":
+        """Deploy ``n`` nodes uniformly at the requested mean density."""
+        rng = RngManager(seed)
+        deployment = Deployment.random_uniform(n, density, rng.stream("deployment"), radius)
+        return cls(deployment, seed=seed, radio_config=radio_config, energy_model=energy_model)
+
+    # -- accessors ---------------------------------------------------------
+
+    def node(self, node_id: int) -> SensorNode:
+        """Node by link-layer id (including the base station)."""
+        return self.nodes[node_id]
+
+    def adjacency(self, node_id: int) -> list[int]:
+        """Radio neighbors of ``node_id`` (includes BS where in range)."""
+        return self._adjacency[node_id]
+
+    def sensor_ids(self) -> list[int]:
+        """Ids of ordinary sensors (excludes the base station), sorted."""
+        return sorted(nid for nid in self.nodes if nid != BS_ID)
+
+    def alive_sensor_ids(self) -> list[int]:
+        """Ids of sensors still alive."""
+        return [nid for nid in self.sensor_ids() if self.nodes[nid].alive]
+
+    # -- dynamic membership (Sec. IV-E) -------------------------------------
+
+    def add_node(self, position: np.ndarray) -> SensorNode:
+        """Deploy one new sensor at ``position`` after initial rollout.
+
+        Adjacency is extended symmetrically; the protocol-level join
+        handshake is :mod:`repro.protocol.addition`'s job.
+        """
+        nid = self._next_node_id
+        self._next_node_id += 1
+        position = np.asarray(position, dtype=float)
+        node = SensorNode(self, nid, position, EnergyMeter(self.energy_model))
+        self.nodes[nid] = node
+        radius = self.deployment.radius
+        neighbors: list[int] = []
+        for other_id, other in self.nodes.items():
+            if other_id == nid:
+                continue
+            if float(np.linalg.norm(other.position - position)) <= radius:
+                neighbors.append(other_id)
+                self._adjacency[other_id].append(nid)
+        self._adjacency[nid] = neighbors
+        return node
+
+    def hop_gradient(self) -> dict[int, int]:
+        """Hop count to the base station for every node id (-1 unreachable)."""
+        hops = {BS_ID: 0}
+        frontier = [BS_ID]
+        level = 0
+        while frontier:
+            level += 1
+            nxt = []
+            for u in frontier:
+                for v in self._adjacency[u]:
+                    if v not in hops and self.nodes[v].alive:
+                        hops[v] = level
+                        nxt.append(v)
+            frontier = nxt
+        for nid in self.nodes:
+            hops.setdefault(nid, -1)
+        return hops

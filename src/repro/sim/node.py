@@ -1,0 +1,83 @@
+"""The sensor node model.
+
+A :class:`SensorNode` owns its battery, its alive/dead state, and an
+attached *application* — the protocol agent (or a baseline scheme, or an
+adversarial implant). The node layer is protocol-agnostic: it hands raw
+frames up and takes raw frames down, exactly like a mote's link layer.
+
+The link-layer ``sender_id`` passed to applications mirrors the
+unauthenticated source field of a real radio header: adversaries can and
+do spoof it, so protocol logic must never trust it for security decisions
+(our protocol authenticates identities cryptographically inside the
+payload instead).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+import numpy as np
+
+from repro.sim.energy import EnergyMeter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import EventHandle
+    from repro.sim.network import Network
+
+
+class NodeApp(Protocol):
+    """Interface of anything attachable to a node (protocol agent, attack)."""
+
+    def on_frame(self, sender_id: int, frame: bytes) -> None:  # pragma: no cover
+        """Handle a received link-layer frame."""
+        ...
+
+
+class SensorNode:
+    """One deployed sensor (or the base station)."""
+
+    def __init__(
+        self,
+        network: "Network",
+        node_id: int,
+        position: np.ndarray,
+        energy: EnergyMeter,
+    ) -> None:
+        self.network = network
+        self.id = node_id
+        self.position = position
+        self.energy = energy
+        self.alive = True
+        self.app: NodeApp | None = None
+        self.frames_received = 0
+        self.frames_sent = 0
+
+    def broadcast(self, frame: bytes) -> None:
+        """Transmit a frame to all radio neighbors (one transmission)."""
+        if not self.alive:
+            return
+        self.frames_sent += 1
+        self.network.radio.broadcast(self.id, frame)
+
+    def receive(self, sender_id: int, frame: bytes) -> None:
+        """Radio delivery entry point."""
+        if not self.alive:
+            return
+        self.frames_received += 1
+        if self.energy.depleted:
+            self.die()
+            return
+        if self.app is not None:
+            self.app.on_frame(sender_id, frame)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> "EventHandle":
+        """Schedule a timer on the shared simulator clock."""
+        return self.network.sim.schedule(delay, callback)
+
+    def die(self) -> None:
+        """Remove the node from the network (battery death or destruction)."""
+        self.alive = False
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"SensorNode(id={self.id}, {state})"

@@ -1,0 +1,190 @@
+"""Broadcast unit-disk radio with airtime, loss and collision accounting.
+
+Every transmission is a local broadcast: all alive unit-disk neighbors of
+the sender receive the frame (the physical property the protocol exploits
+to broadcast one encryption to all neighbors). The model charges energy
+per byte on both ends, delays delivery by propagation + airtime at the
+configured bitrate, applies independent per-link loss, and can optionally
+drop overlapping receptions as collisions.
+
+A passive *monitor* hook sees every frame on the air regardless of
+position — that is the paper's adversary model ("the broadcast nature of
+the transmission medium makes information more vulnerable"), and the
+attack tooling in :mod:`repro.attacks` uses it to eavesdrop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.util.validate import check_positive, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+# (time, sender_id, frame) for every transmission on the air.
+Monitor = Callable[[float, int, bytes], None]
+
+
+#: MAC-layer models: "ideal" transmits immediately (the usual setting for
+#: protocol-level simulations); "csma" senses the channel and backs off
+#: with random slotted delays before transmitting, like a real mote MAC.
+MAC_MODELS = ("ideal", "csma")
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Physical-layer parameters.
+
+    Defaults model a mica-class 19.2 kbps radio with an 11-byte link-layer
+    header, lossless links, no collisions and an ideal MAC (the common
+    setting for protocol-level key-management simulations; loss,
+    collisions and CSMA are enabled by failure-injection tests and
+    ablations).
+    """
+
+    bitrate_bps: float = 19_200.0
+    header_bytes: int = 11
+    propagation_delay_s: float = 1e-6
+    loss_probability: float = 0.0
+    model_collisions: bool = False
+    mac: str = "ideal"
+    #: CSMA backoff slot (seconds) and maximum deferral attempts.
+    csma_slot_s: float = 0.4e-3
+    csma_max_attempts: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive("bitrate_bps", self.bitrate_bps)
+        check_probability("loss_probability", self.loss_probability)
+        if self.header_bytes < 0:
+            raise ValueError("header_bytes must be >= 0")
+        if self.mac not in MAC_MODELS:
+            raise ValueError(f"mac must be one of {MAC_MODELS}, got {self.mac!r}")
+        check_positive("csma_slot_s", self.csma_slot_s)
+        if self.csma_max_attempts < 1:
+            raise ValueError("csma_max_attempts must be >= 1")
+
+    def airtime(self, payload_bytes: int) -> float:
+        """Seconds the frame occupies the channel."""
+        return (payload_bytes + self.header_bytes) * 8.0 / self.bitrate_bps
+
+
+class Radio:
+    """The shared broadcast medium."""
+
+    def __init__(self, network: "Network", config: RadioConfig, rng) -> None:
+        self._network = network
+        self.config = config
+        self._rng = rng
+        self.monitors: list[Monitor] = []
+        # Per-receiver end-of-current-reception time, for collision checks.
+        self._rx_busy_until: dict[int, float] = {}
+        # Per-node end-of-sensed-carrier time, for CSMA.
+        self._carrier_until: dict[int, float] = {}
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+        self.frames_collided = 0
+        self.csma_deferrals = 0
+        self.csma_drops = 0
+        self.bytes_sent = 0
+
+    def broadcast(self, sender_id: int, frame: bytes, _attempt: int = 0) -> None:
+        """Transmit ``frame`` from ``sender_id`` to all its alive neighbors.
+
+        Under the CSMA MAC, a busy channel defers the transmission by a
+        random slotted backoff (up to ``csma_max_attempts`` tries, then
+        the frame is dropped and counted in ``csma_drops``).
+        """
+        net = self._network
+        sim = net.sim
+        sender = net.node(sender_id)
+        if not sender.alive:
+            return
+        if self.config.mac == "csma":
+            if sim.now < self._carrier_until.get(sender_id, -1.0):
+                if _attempt >= self.config.csma_max_attempts:
+                    self.csma_drops += 1
+                    return
+                self.csma_deferrals += 1
+                backoff = float(self._rng.integers(1, 33)) * self.config.csma_slot_s
+                sim.schedule(
+                    backoff, _Retry(self, sender_id, frame, _attempt + 1)
+                )
+                return
+        nbytes = len(frame) + self.config.header_bytes
+        sender.energy.charge_tx(nbytes)
+        self.frames_sent += 1
+        self.bytes_sent += nbytes
+
+        for monitor in self.monitors:
+            monitor(sim.now, sender_id, frame)
+
+        arrival = sim.now + self.config.propagation_delay_s + self.config.airtime(len(frame))
+        if self.config.mac == "csma":
+            # The carrier is sensed busy at the sender and at every node in
+            # range until the frame finishes.
+            for nid in (sender_id, *net.adjacency(sender_id)):
+                self._carrier_until[nid] = max(self._carrier_until.get(nid, 0.0), arrival)
+        for receiver_id in net.adjacency(sender_id):
+            receiver = net.node(receiver_id)
+            if not receiver.alive:
+                continue
+            if self.config.loss_probability > 0.0 and (
+                self._rng.random() < self.config.loss_probability
+            ):
+                self.frames_lost += 1
+                continue
+            if self.config.model_collisions:
+                busy_until = self._rx_busy_until.get(receiver_id, -1.0)
+                if sim.now < busy_until:
+                    # Receiver is mid-reception of another frame: the new
+                    # frame is destroyed (we keep the earlier one, modeling
+                    # capture of the stronger first arrival).
+                    self.frames_collided += 1
+                    continue
+                self._rx_busy_until[receiver_id] = arrival
+            sim.schedule(
+                arrival - sim.now,
+                _Delivery(self, receiver_id, sender_id, frame, nbytes),
+            )
+
+    def _deliver(self, receiver_id: int, sender_id: int, frame: bytes, nbytes: int) -> None:
+        receiver = self._network.node(receiver_id)
+        if not receiver.alive:
+            return
+        receiver.energy.charge_rx(nbytes)
+        self.frames_delivered += 1
+        receiver.receive(sender_id, frame)
+
+
+class _Retry:
+    """Bound CSMA retransmission event."""
+
+    __slots__ = ("radio", "sender_id", "frame", "attempt")
+
+    def __init__(self, radio: Radio, sender_id: int, frame: bytes, attempt: int):
+        self.radio = radio
+        self.sender_id = sender_id
+        self.frame = frame
+        self.attempt = attempt
+
+    def __call__(self) -> None:
+        self.radio.broadcast(self.sender_id, self.frame, _attempt=self.attempt)
+
+
+class _Delivery:
+    """Bound delivery event (avoids a closure per scheduled reception)."""
+
+    __slots__ = ("radio", "receiver_id", "sender_id", "frame", "nbytes")
+
+    def __init__(self, radio: Radio, receiver_id: int, sender_id: int, frame: bytes, nbytes: int):
+        self.radio = radio
+        self.receiver_id = receiver_id
+        self.sender_id = sender_id
+        self.frame = frame
+        self.nbytes = nbytes
+
+    def __call__(self) -> None:
+        self.radio._deliver(self.receiver_id, self.sender_id, self.frame, self.nbytes)

@@ -1,0 +1,32 @@
+"""Lightweight counters and message accounting for experiments.
+
+Figure 9 of the paper reports *messages exchanged per node* during key
+setup; the protocol increments named counters here so experiments read
+totals without instrumenting every handler.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Trace:
+    """Named counters plus an optional bounded event log."""
+
+    counters: Counter = field(default_factory=Counter)
+    log_limit: int = 0
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name``."""
+        self.counters[name] += amount
+
+    def record(self, time: float, kind: str, **details) -> None:
+        """Append to the event log if logging is enabled (log_limit > 0)."""
+        if self.log_limit and len(self.events) < self.log_limit:
+            self.events.append((time, kind, details))
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters[name]

@@ -1,0 +1,33 @@
+"""Small shared utilities: byte handling, validation, statistics.
+
+These helpers are deliberately dependency-free (stdlib + numpy only) and are
+used across the crypto, simulation and protocol layers.
+"""
+
+from repro.util.bytesutil import (
+    constant_time_eq,
+    from_u32_be,
+    from_u64_be,
+    hexstr,
+    to_u32_be,
+    to_u64_be,
+    xor_bytes,
+)
+from repro.util.stats import RunningStats, histogram, mean_confidence_interval
+from repro.util.validate import check_positive, check_probability, check_range
+
+__all__ = [
+    "xor_bytes",
+    "constant_time_eq",
+    "to_u32_be",
+    "from_u32_be",
+    "to_u64_be",
+    "from_u64_be",
+    "hexstr",
+    "RunningStats",
+    "histogram",
+    "mean_confidence_interval",
+    "check_positive",
+    "check_range",
+    "check_probability",
+]

@@ -1,0 +1,58 @@
+"""Byte-level helpers used by the from-scratch crypto primitives.
+
+All multi-byte integers on the (simulated) wire are big-endian, mirroring
+network byte order on real motes.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings.
+
+    Raises:
+        ValueError: if the lengths differ.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {len(a)} != {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without leaking where they differ.
+
+    Used for MAC verification; a naive ``==`` would allow a timing oracle on
+    a real device (and we model real verification behaviour faithfully).
+    """
+    return _hmac.compare_digest(a, b)
+
+
+def to_u32_be(value: int) -> bytes:
+    """Encode an unsigned 32-bit integer big-endian."""
+    return int.to_bytes(value & 0xFFFFFFFF, 4, "big")
+
+
+def from_u32_be(data: bytes) -> int:
+    """Decode a big-endian unsigned 32-bit integer."""
+    if len(data) != 4:
+        raise ValueError(f"expected 4 bytes, got {len(data)}")
+    return int.from_bytes(data, "big")
+
+
+def to_u64_be(value: int) -> bytes:
+    """Encode an unsigned 64-bit integer big-endian."""
+    return int.to_bytes(value & 0xFFFFFFFFFFFFFFFF, 8, "big")
+
+
+def from_u64_be(data: bytes) -> int:
+    """Decode a big-endian unsigned 64-bit integer."""
+    if len(data) != 8:
+        raise ValueError(f"expected 8 bytes, got {len(data)}")
+    return int.from_bytes(data, "big")
+
+
+def hexstr(data: bytes) -> str:
+    """Lowercase hex rendering, for logs and error messages."""
+    return data.hex()

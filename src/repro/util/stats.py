@@ -1,0 +1,96 @@
+"""Statistics helpers for experiment aggregation.
+
+Experiments in this repo average protocol metrics over several random seeds;
+these helpers provide streaming mean/variance and simple confidence
+intervals without pulling in scipy at library runtime (scipy remains a
+dev/benchmark dependency only).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunningStats:
+    """Welford streaming mean/variance accumulator."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation in."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    def extend(self, xs) -> None:
+        """Fold an iterable of observations in."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+
+def mean_confidence_interval(xs, z: float = 1.96) -> tuple[float, float]:
+    """Return ``(mean, halfwidth)`` of a normal-approximation CI.
+
+    ``z`` defaults to the 95% two-sided normal quantile. With fewer than two
+    samples the halfwidth is 0.
+    """
+    xs = list(xs)
+    stats = RunningStats()
+    stats.extend(xs)
+    if stats.count < 2:
+        return stats.mean, 0.0
+    half = z * stats.stdev / math.sqrt(stats.count)
+    return stats.mean, half
+
+
+@dataclass
+class Histogram:
+    """Integer-valued histogram with normalized view."""
+
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Count one occurrence of ``value``."""
+        self.counts[value] = self.counts.get(value, 0) + weight
+
+    @property
+    def total(self) -> int:
+        """Total weight across all bins."""
+        return sum(self.counts.values())
+
+    def fractions(self) -> dict[int, float]:
+        """Normalized histogram; empty dict when no data."""
+        total = self.total
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.counts.items())}
+
+
+def histogram(values) -> Histogram:
+    """Build a :class:`Histogram` from an iterable of ints."""
+    h = Histogram()
+    for v in values:
+        h.add(int(v))
+    return h

@@ -1,0 +1,26 @@
+"""Argument validation helpers.
+
+Protocol and simulator constructors validate eagerly so that configuration
+mistakes fail at build time, not deep inside an event handler.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require a probability in [0, 1]."""
+    return check_range(name, value, 0.0, 1.0)

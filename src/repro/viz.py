@@ -1,0 +1,58 @@
+"""ASCII visualization of a deployed network.
+
+Terminal-only rendering (this repo has no plotting dependency): a
+character grid of the field where each node is drawn with a symbol
+derived from its cluster id, the base station as ``@``, and dead or
+orphaned nodes as ``x``. Adjacent same-symbol characters are (almost
+always) the same cluster, which makes the paper's "small localized
+clusters" directly visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.setup import DeployedProtocol
+
+_GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def cluster_map(deployed: "DeployedProtocol", width: int = 72) -> str:
+    """Render the deployment as an ASCII grid, one glyph per node.
+
+    Nodes of the same cluster share a glyph (glyph = cluster id modulo the
+    alphabet, so distant clusters may reuse glyphs — locally the map is
+    unambiguous). ``@`` marks the base station, ``x`` a dead or orphaned
+    node, ``.`` empty space.
+    """
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    deployment = deployed.network.deployment
+    side = deployment.side
+    height = max(4, int(width * 0.5))  # terminal cells are ~2x taller than wide
+
+    grid = [["." for _ in range(width)] for _ in range(height)]
+
+    def place(pos: np.ndarray, char: str) -> None:
+        col = min(width - 1, int(pos[0] / side * width))
+        row = min(height - 1, int(pos[1] / side * height))
+        grid[row][col] = char
+
+    for nid, agent in deployed.agents.items():
+        node = deployed.network.node(nid)
+        cid = agent.state.cid
+        if not node.alive or cid is None:
+            place(node.position, "x")
+        else:
+            place(node.position, _GLYPHS[cid % len(_GLYPHS)])
+    place(deployed.network.bs.position, "@")
+
+    lines = ["".join(row) for row in grid]
+    header = (
+        f"field {side:.0f}x{side:.0f} m, {len(deployed.agents)} nodes, "
+        f"radio range {deployment.radius:.0f} m ('@' = base station)"
+    )
+    return header + "\n" + "\n".join(lines)

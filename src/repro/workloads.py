@@ -1,0 +1,190 @@
+"""Reusable traffic workloads for a deployed protocol.
+
+The paper evaluates the key-setup phase only; everything downstream
+(examples, energy accounting, the load experiment) needs realistic data
+traffic. Two generators:
+
+* :class:`PeriodicReporting` — every selected sensor reports at a fixed
+  period with a per-node phase offset (staggered duty cycle, the usual
+  monitoring configuration);
+* :class:`PoissonEvents` — physical events arrive as a Poisson process at
+  random field positions; the ``k`` sensors nearest each event all report
+  it (the redundancy that motivates the paper's data-fusion argument).
+
+Both record what was sent so experiments can compute delivery ratios and
+latencies against the base station's log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.protocol.agent import ProtocolError
+from repro.protocol.aggregation import encode_reading
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.setup import DeployedProtocol
+
+
+@dataclass(frozen=True)
+class SentRecord:
+    """One reading handed to the protocol by a workload."""
+
+    time: float
+    source: int
+    event_id: int
+    payload: bytes
+
+
+class _WorkloadBase:
+    def __init__(self, deployed: "DeployedProtocol") -> None:
+        self.deployed = deployed
+        self.sent: list[SentRecord] = []
+        self.send_failures = 0
+
+    def _send(self, source: int, event_id: int, payload: bytes) -> None:
+        sim = self.deployed.network.sim
+        try:
+            self.deployed.agents[source].send_reading(payload)
+        except ProtocolError:
+            # Orphaned/evicted sources are a legitimate runtime condition.
+            self.send_failures += 1
+            return
+        self.sent.append(SentRecord(sim.now, source, event_id, payload))
+
+    # -- result helpers -----------------------------------------------------
+
+    def delivery_ratio(self) -> float:
+        """Fraction of sent readings the base station accepted."""
+        if not self.sent:
+            return 1.0
+        delivered = {
+            (r.source, bytes(r.data)) for r in self.deployed.bs_agent.delivered
+        }
+        got = sum(1 for s in self.sent if (s.source, s.payload) in delivered)
+        return got / len(self.sent)
+
+    def latencies(self) -> list[float]:
+        """Send-to-accept latency of each delivered reading (seconds)."""
+        sent_at: dict[tuple[int, bytes], float] = {}
+        for s in self.sent:
+            sent_at.setdefault((s.source, s.payload), s.time)
+        out = []
+        for r in self.deployed.bs_agent.delivered:
+            key = (r.source, bytes(r.data))
+            if key in sent_at:
+                out.append(r.time - sent_at.pop(key))
+        return out
+
+
+class PeriodicReporting(_WorkloadBase):
+    """Fixed-period reporting from a set of sources, phase-staggered."""
+
+    def __init__(
+        self,
+        deployed: "DeployedProtocol",
+        sources: list[int],
+        period_s: float,
+        rounds: int,
+        payload_fn: Callable[[int, int], bytes] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be > 0")
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        super().__init__(deployed)
+        self.sources = list(sources)
+        self.period_s = period_s
+        self.rounds = rounds
+        self._payload_fn = payload_fn or (
+            lambda src, k: encode_reading(k, float(src % 100), src)
+        )
+        self._rng = rng or np.random.default_rng(0)
+
+    def start(self) -> None:
+        """Schedule every report on the simulator clock."""
+        sim = self.deployed.network.sim
+        for source in self.sources:
+            offset = float(self._rng.uniform(0.0, self.period_s))
+            for k in range(self.rounds):
+                sim.schedule(
+                    offset + k * self.period_s,
+                    lambda s=source, kk=k: self._send(s, kk, self._payload_fn(s, kk)),
+                )
+
+    @property
+    def duration_s(self) -> float:
+        """Time span over which reports are scheduled."""
+        return self.period_s * (self.rounds + 1)
+
+
+class PoissonEvents(_WorkloadBase):
+    """Poisson event arrivals, each reported by the k nearest sensors."""
+
+    def __init__(
+        self,
+        deployed: "DeployedProtocol",
+        rate_per_s: float,
+        duration_s: float,
+        reporters_per_event: int = 4,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rate_per_s <= 0 or duration_s <= 0:
+            raise ValueError("rate and duration must be > 0")
+        if reporters_per_event < 1:
+            raise ValueError("reporters_per_event must be >= 1")
+        super().__init__(deployed)
+        self.rate = rate_per_s
+        self.duration_s = duration_s
+        self.reporters = reporters_per_event
+        self._rng = rng or np.random.default_rng(0)
+        self.events: list[tuple[float, np.ndarray]] = []
+
+    def start(self) -> None:
+        """Draw the event process and schedule every report."""
+        sim = self.deployed.network.sim
+        deployment = self.deployed.network.deployment
+        routable = [
+            nid
+            for nid, a in self.deployed.agents.items()
+            if a.state.hops_to_bs > 0 and a.node.alive
+        ]
+        if not routable:
+            return
+        positions = np.array(
+            [self.deployed.network.node(nid).position for nid in routable]
+        )
+        t = 0.0
+        event_id = 0
+        while True:
+            t += float(self._rng.exponential(1.0 / self.rate))
+            if t >= self.duration_s:
+                break
+            where = self._rng.uniform(0.0, deployment.side, size=2)
+            self.events.append((t, where))
+            d = np.linalg.norm(positions - where, axis=1)
+            nearest = np.argsort(d)[: self.reporters]
+            for idx in nearest:
+                source = routable[int(idx)]
+                payload = encode_reading(event_id, float(d[int(idx)]), source)
+                sim.schedule(
+                    t, lambda s=source, e=event_id, p=payload: self._send(s, e, p)
+                )
+            event_id += 1
+
+    def delivered_event_fraction(self) -> float:
+        """Fraction of events for which at least one report arrived."""
+        if not self.events:
+            return 1.0
+        sent_events = {s.event_id for s in self.sent}
+        delivered_payloads = {
+            bytes(r.data) for r in self.deployed.bs_agent.delivered
+        }
+        delivered_events = {
+            s.event_id for s in self.sent if s.payload in delivered_payloads
+        }
+        return len(delivered_events) / max(1, len(sent_events))

@@ -1,0 +1,54 @@
+"""The live-protocol adapter behind the scheme interface."""
+
+import pytest
+
+from repro.baselines import LdpSchemeModel
+from repro.protocol.setup import deploy
+from repro.sim.network import FIRST_NODE_ID
+
+
+@pytest.fixture(scope="module")
+def adapted():
+    deployed, _ = deploy(200, 10.0, seed=12)
+    scheme = LdpSchemeModel(deployed)
+    scheme.setup()
+    return deployed, scheme
+
+
+def test_keys_match_live_keyrings(adapted):
+    deployed, scheme = adapted
+    for index in range(deployed.network.deployment.n):
+        agent = deployed.agents[index + FIRST_NODE_ID]
+        assert scheme.keys_stored(index) == agent.state.stored_key_count()
+
+
+def test_all_links_secured(adapted):
+    _, scheme = adapted
+    assert scheme.secured_link_fraction() == 1.0
+
+
+def test_broadcast_is_one(adapted):
+    _, scheme = adapted
+    assert scheme.broadcast_transmissions(0) == 1
+
+
+def test_captured_material_is_keyring(adapted):
+    deployed, scheme = adapted
+    material = scheme.captured_material([3])
+    agent = deployed.agents[3 + FIRST_NODE_ID]
+    assert material == {("cluster", cid) for cid in agent.state.keyring.cluster_ids()}
+
+
+def test_compromise_is_localized(adapted):
+    _, scheme = adapted
+    profile = scheme.compromise_by_distance(100)
+    # Keys a node holds cover clusters whose members sit within a couple of
+    # hops; beyond ~3 hops nothing is compromised.
+    assert all(f == 0.0 for d, f in profile.items() if d >= 4)
+    assert profile.get(1, 0.0) > 0.0  # but the immediate neighborhood falls
+
+
+def test_resilience_small_and_bounded(adapted):
+    _, scheme = adapted
+    r = scheme.resilience([0])
+    assert 0.0 <= r < 0.2

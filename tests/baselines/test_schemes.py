@@ -1,0 +1,182 @@
+"""Structural properties of every baseline scheme."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EschenauerGligorScheme,
+    FullPairwiseScheme,
+    GlobalKeyScheme,
+    LeapScheme,
+    QCompositeScheme,
+    all_links,
+)
+from repro.baselines.random_kp import expected_share_probability
+from repro.sim.rng import RngManager
+from repro.sim.topology import Deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return Deployment.random_uniform(250, 10.0, RngManager(5).stream("deployment"))
+
+
+def test_all_links_undirected_unique(deployment):
+    links = all_links(deployment)
+    assert all(u < v for u, v in links)
+    assert len(links) == len(set(links))
+    # Handshake identity: twice the link count equals the degree sum.
+    assert 2 * len(links) == sum(len(nb) for nb in deployment.neighbors)
+
+
+class TestGlobalKey:
+    def test_storage_and_broadcast(self, deployment):
+        scheme = GlobalKeyScheme(deployment)
+        scheme.setup()
+        assert scheme.keys_per_node() == [1] * deployment.n
+        assert scheme.broadcast_transmissions(0) == 1
+
+    def test_single_capture_breaks_everything(self, deployment):
+        scheme = GlobalKeyScheme(deployment)
+        scheme.setup()
+        assert scheme.resilience([0]) == 1.0
+
+    def test_no_capture_no_compromise(self, deployment):
+        scheme = GlobalKeyScheme(deployment)
+        scheme.setup()
+        assert scheme.captured_material([]) == set()
+        assert scheme.resilience([]) == 0.0
+
+
+class TestFullPairwise:
+    def test_storage_is_n_minus_1(self, deployment):
+        scheme = FullPairwiseScheme(deployment)
+        scheme.setup()
+        assert scheme.keys_stored(0) == deployment.n - 1
+
+    def test_broadcast_costs_degree(self, deployment):
+        scheme = FullPairwiseScheme(deployment)
+        scheme.setup()
+        node = int(np.argmax([len(nb) for nb in deployment.neighbors]))
+        assert scheme.broadcast_transmissions(node) == len(deployment.neighbors[node])
+
+    def test_perfect_resilience(self, deployment):
+        scheme = FullPairwiseScheme(deployment)
+        scheme.setup()
+        assert scheme.resilience([0, 1, 2]) == 0.0
+
+
+class TestEschenauerGligor:
+    def test_connectivity_matches_theory(self, deployment):
+        rng = RngManager(6)
+        scheme = EschenauerGligorScheme(
+            deployment, rng.stream("eg"), pool_size=1000, ring_size=30
+        )
+        scheme.setup()
+        expected = expected_share_probability(1000, 30)
+        assert math.isclose(scheme.secured_link_fraction(), expected, abs_tol=0.05)
+
+    def test_theory_edge_cases(self):
+        assert expected_share_probability(10, 6) == 1.0  # pigeonhole
+        assert expected_share_probability(10**6, 1) < 1e-5
+
+    def test_rings_have_requested_size(self, deployment):
+        scheme = EschenauerGligorScheme(
+            deployment, RngManager(7).stream("eg"), pool_size=500, ring_size=20
+        )
+        scheme.setup()
+        assert all(len(r) == 20 for r in scheme.rings)
+        assert scheme.keys_stored(0) == 20
+
+    def test_resilience_grows_with_captures(self, deployment):
+        scheme = EschenauerGligorScheme(
+            deployment, RngManager(8).stream("eg"), pool_size=1000, ring_size=40
+        )
+        scheme.setup()
+        r1 = scheme.resilience(list(range(2)))
+        r2 = scheme.resilience(list(range(20)))
+        assert r1 < r2
+
+    def test_compromise_is_not_localized(self, deployment):
+        scheme = EschenauerGligorScheme(
+            deployment, RngManager(9).stream("eg"), pool_size=500, ring_size=40
+        )
+        scheme.setup()
+        profile = scheme.compromise_by_distance(deployment.n // 2)
+        distant = [f for d, f in profile.items() if d >= 4]
+        assert distant and max(distant) > 0.0  # exposure reaches far links
+
+    def test_parameter_validation(self, deployment):
+        rng = RngManager(0).stream("x")
+        with pytest.raises(ValueError):
+            EschenauerGligorScheme(deployment, rng, pool_size=10, ring_size=11)
+        with pytest.raises(ValueError):
+            EschenauerGligorScheme(deployment, rng, pool_size=0)
+
+
+class TestQComposite:
+    def test_q_reduces_connectivity(self, deployment):
+        rng = RngManager(10)
+        eg = EschenauerGligorScheme(deployment, rng.stream("a"), 1000, 40)
+        qc = QCompositeScheme(deployment, rng.stream("b"), 1000, 40, q=2)
+        eg.setup(), qc.setup()
+        assert qc.secured_link_fraction() < eg.secured_link_fraction()
+
+    def test_q_improves_small_scale_resilience(self, deployment):
+        rng = RngManager(11)
+        eg = EschenauerGligorScheme(deployment, rng.stream("a"), 1000, 60)
+        qc = QCompositeScheme(deployment, rng.stream("b"), 1000, 60, q=3)
+        eg.setup(), qc.setup()
+        captured = list(range(3))
+        assert qc.resilience(captured) <= eg.resilience(captured)
+
+    def test_q_validation(self, deployment):
+        with pytest.raises(ValueError):
+            QCompositeScheme(deployment, RngManager(0).stream("x"), 100, 10, q=0)
+
+
+class TestLeap:
+    def test_storage_proportional_to_degree(self, deployment):
+        scheme = LeapScheme(deployment)
+        scheme.setup()
+        node = 0
+        deg = len(deployment.neighbors[node])
+        assert scheme.keys_stored(node) == 2 + 2 * deg
+
+    def test_broadcast_is_one(self, deployment):
+        scheme = LeapScheme(deployment)
+        scheme.setup()
+        assert scheme.broadcast_transmissions(0) == 1
+
+    def test_bootstrap_costs_degree(self, deployment):
+        scheme = LeapScheme(deployment)
+        scheme.setup()
+        deg = len(deployment.neighbors[0])
+        assert scheme.bootstrap_transmissions(0) == 1 + deg
+        # Predistribution schemes bootstrap with at most one broadcast.
+        assert GlobalKeyScheme(deployment).bootstrap_transmissions(0) == 0
+
+    def test_compromise_is_local_without_flood(self, deployment):
+        scheme = LeapScheme(deployment)
+        scheme.setup()
+        profile = scheme.compromise_by_distance(deployment.n // 2)
+        assert all(f == 0.0 for d, f in profile.items() if d >= 3)
+
+    def test_hello_flood_blows_up_storage(self, deployment):
+        scheme = LeapScheme(deployment)
+        scheme.setup()
+        victim = 5
+        before = scheme.keys_stored(victim)
+        scheme.hello_flood(victim, range(deployment.n))
+        assert scheme.keys_stored(victim) > before
+        assert len(scheme.impersonable_ids(victim)) == deployment.n - 1
+
+    def test_flood_does_not_affect_others(self, deployment):
+        scheme = LeapScheme(deployment)
+        scheme.setup()
+        other = 6
+        before = scheme.keys_stored(other)
+        scheme.hello_flood(5, range(deployment.n))
+        assert scheme.keys_stored(other) == before

@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.setup import DeployedProtocol, deploy
+
+
+def small_deployment(
+    n: int = 150,
+    density: float = 10.0,
+    seed: int = 0,
+    config: ProtocolConfig | None = None,
+) -> DeployedProtocol:
+    """A fresh, operational small network (each caller gets its own copy)."""
+    deployed, _ = deploy(n, density, seed=seed, config=config)
+    return deployed
+
+
+@pytest.fixture
+def deployed() -> DeployedProtocol:
+    """Default small operational network."""
+    return small_deployment()
+
+
+@pytest.fixture
+def deployed_plaintext() -> DeployedProtocol:
+    """Small network with Step 1 disabled (fusion-capable)."""
+    return small_deployment(config=ProtocolConfig(end_to_end_encryption=False))
+
+
+def run_for(deployed: DeployedProtocol, seconds: float) -> None:
+    """Advance the deployment's simulator clock."""
+    sim = deployed.network.sim
+    sim.run(until=sim.now + seconds)

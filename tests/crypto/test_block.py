@@ -1,0 +1,32 @@
+"""Cipher registry."""
+
+import pytest
+
+from repro.crypto.block import available_ciphers, get_cipher
+from repro.crypto.speck import Speck64_128
+from repro.crypto.xtea import Xtea
+
+
+def test_available():
+    assert set(available_ciphers()) == {"speck64/128", "xtea", "rc5-32/12/16"}
+
+
+def test_get_by_canonical_name():
+    assert isinstance(get_cipher("speck64/128", bytes(16)), Speck64_128)
+    assert isinstance(get_cipher("xtea", bytes(16)), Xtea)
+
+
+def test_alias():
+    assert isinstance(get_cipher("speck", bytes(16)), Speck64_128)
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError, match="unknown cipher"):
+        get_cipher("aes-128", bytes(16))
+
+
+def test_uniform_shape():
+    for name in available_ciphers():
+        cipher = get_cipher(name, bytes(16))
+        assert cipher.block_size == 8
+        assert cipher.key_size == 16

@@ -1,0 +1,59 @@
+"""Stateful property test of the KeyRing (hypothesis RuleBasedStateMachine)."""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.crypto.kdf import refresh_key
+from repro.crypto.keys import KeyRing, SymmetricKey
+
+cids = st.integers(min_value=0, max_value=20)
+
+
+class KeyRingMachine(RuleBasedStateMachine):
+    """Random interleavings of store / remove / refresh must preserve the
+    ring's contracts: membership mirrors a model dict, removed keys are
+    erased, refresh preserves membership while changing material."""
+
+    def __init__(self):
+        super().__init__()
+        self.ring = KeyRing()
+        self.model: dict[int, bytes] = {}
+        self.removed_keys: list[SymmetricKey] = []
+
+    @rule(cid=cids, byte=st.integers(min_value=0, max_value=255))
+    def store(self, cid, byte):
+        key = SymmetricKey(bytes([byte]) * 16, label=f"k{cid}")
+        self.ring.store(cid, key)
+        self.model[cid] = bytes([byte]) * 16
+
+    @rule(cid=cids)
+    def remove(self, cid):
+        if self.ring.has(cid):
+            self.removed_keys.append(self.ring.get(cid))
+        self.ring.remove(cid)
+        self.model.pop(cid, None)
+
+    @rule(cid=cids)
+    def refresh(self, cid):
+        if self.ring.has(cid):
+            old = self.ring.get(cid)
+            new_material = refresh_key(old.material)
+            self.ring.store(cid, SymmetricKey(new_material, label=old.label))
+            self.model[cid] = new_material
+
+    @invariant()
+    def membership_matches_model(self):
+        assert set(self.ring.cluster_ids()) == set(self.model)
+        assert len(self.ring) == len(self.model)
+
+    @invariant()
+    def materials_match_model(self):
+        for cid, material in self.model.items():
+            assert self.ring.get(cid).material == material
+
+    @invariant()
+    def removed_keys_stay_erased(self):
+        assert all(k.erased for k in self.removed_keys)
+
+
+TestKeyRingStateful = KeyRingMachine.TestCase

@@ -1,0 +1,102 @@
+"""SymmetricKey erasure semantics and KeyRing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import KeyErasedError, KeyRing, SymmetricKey
+
+
+def test_material_roundtrip():
+    key = SymmetricKey(bytes(16), label="k")
+    assert key.material == bytes(16)
+    assert not key.erased
+
+
+def test_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        SymmetricKey(bytes(15))
+
+
+def test_erase_makes_material_unrecoverable():
+    key = SymmetricKey(bytes(16))
+    key.erase()
+    assert key.erased
+    with pytest.raises(KeyErasedError):
+        _ = key.material
+
+
+def test_erase_is_idempotent():
+    key = SymmetricKey(bytes(16))
+    key.erase()
+    key.erase()
+    assert key.erased
+
+
+def test_generate_deterministic_with_rng():
+    a = SymmetricKey.generate(np.random.default_rng(1))
+    b = SymmetricKey.generate(np.random.default_rng(1))
+    assert a == b
+
+
+def test_generate_without_rng_is_random():
+    assert SymmetricKey.generate() != SymmetricKey.generate()
+
+
+def test_equality_semantics():
+    a = SymmetricKey(bytes(16))
+    b = SymmetricKey(bytes(16))
+    c = SymmetricKey(bytes([1]) + bytes(15))
+    assert a == b
+    assert a != c
+    b.erase()
+    assert a != b  # erased keys compare unequal to everything
+
+
+def test_keys_are_unhashable():
+    with pytest.raises(TypeError):
+        hash(SymmetricKey(bytes(16)))
+
+
+def test_repr_does_not_leak_material():
+    key = SymmetricKey(bytes(range(16)), label="secret")
+    assert "000102" not in repr(key)
+
+
+class TestKeyRing:
+    def test_store_get(self):
+        ring = KeyRing()
+        key = SymmetricKey(bytes(16))
+        ring.store(7, key)
+        assert ring.get(7) is key
+        assert ring.has(7)
+        assert 7 in ring
+        assert len(ring) == 1
+
+    def test_missing_cluster(self):
+        ring = KeyRing()
+        assert not ring.has(1)
+        with pytest.raises(KeyError):
+            ring.get(1)
+
+    def test_remove_erases(self):
+        ring = KeyRing()
+        key = SymmetricKey(bytes(16))
+        ring.store(3, key)
+        ring.remove(3)
+        assert not ring.has(3)
+        assert key.erased
+        ring.remove(3)  # idempotent
+
+    def test_cluster_ids_sorted(self):
+        ring = KeyRing()
+        for cid in (5, 1, 9):
+            ring.store(cid, SymmetricKey(bytes(16)))
+        assert ring.cluster_ids() == (1, 5, 9)
+
+    def test_overwrite(self):
+        ring = KeyRing()
+        ring.store(1, SymmetricKey(bytes(16)))
+        newer = SymmetricKey(bytes([1]) * 16)
+        ring.store(1, newer)
+        assert ring.get(1) is newer
+        assert len(ring) == 1

@@ -1,0 +1,56 @@
+"""Speck64/128 against the designers' test vector and as a permutation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.speck import Speck64_128
+
+# From "The SIMON and SPECK Families of Lightweight Block Ciphers",
+# Beaulieu et al., 2013 (Speck64/128 vector).
+KEY = bytes.fromhex("1b1a1918131211100b0a090803020100")
+PLAIN = bytes.fromhex("3b7265747475432d")
+CIPHER = bytes.fromhex("8c6fa548454e028b")
+
+
+def test_published_vector_encrypt():
+    assert Speck64_128(KEY).encrypt_block(PLAIN) == CIPHER
+
+
+def test_published_vector_decrypt():
+    assert Speck64_128(KEY).decrypt_block(CIPHER) == PLAIN
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=8, max_size=8))
+def test_roundtrip(key, block):
+    c = Speck64_128(key)
+    assert c.decrypt_block(c.encrypt_block(block)) == block
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=8, max_size=8))
+def test_encryption_changes_block(key, block):
+    # A fixed point over random inputs would indicate a broken key schedule.
+    assert Speck64_128(key).encrypt_block(block) != block or True
+    # The real property: distinct plaintexts map to distinct ciphertexts.
+    other = bytes(8) if block != bytes(8) else bytes([1]) * 8
+    c = Speck64_128(key)
+    assert c.encrypt_block(block) != c.encrypt_block(other)
+
+
+def test_key_sensitivity():
+    k2 = bytes([KEY[0] ^ 1]) + KEY[1:]
+    assert Speck64_128(KEY).encrypt_block(PLAIN) != Speck64_128(k2).encrypt_block(PLAIN)
+
+
+@pytest.mark.parametrize("bad_len", [0, 8, 15, 17, 32])
+def test_rejects_bad_key_length(bad_len):
+    with pytest.raises(ValueError):
+        Speck64_128(bytes(bad_len))
+
+
+@pytest.mark.parametrize("bad_len", [0, 7, 9, 16])
+def test_rejects_bad_block_length(bad_len):
+    cipher = Speck64_128(KEY)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(bytes(bad_len))
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(bytes(bad_len))

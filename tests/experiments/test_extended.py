@@ -1,0 +1,67 @@
+"""Shape checks for the extension experiments (small-n, fast versions)."""
+
+from repro.experiments import (
+    energy_cost,
+    refresh_vulnerability,
+    timing_security,
+)
+from repro.experiments.ablations import run_counter_mode, run_refresh
+
+
+def test_timing_security_margin():
+    table = timing_security.run(densities=(10.0,), n=200, seeds=range(2))
+    row = table.rows[0]
+    last_tx, erased, capture = float(row[1]), float(row[2]), float(row[3])
+    assert last_tx < erased < capture
+
+
+def test_timing_window_measurement_is_consistent():
+    from repro.experiments.timing_security import measure_km_window
+
+    last_tx, erase_at, frames = measure_km_window(150, 10.0, seed=0)
+    assert 0 < last_tx < erase_at
+    assert frames >= 150  # every node sent at least its LINKINFO
+
+
+def test_energy_setup_cost_shapes():
+    table = energy_cost.run_setup_cost(densities=(8.0, 20.0), n=200, seeds=range(2))
+    cost = [float(r[1]) for r in table.rows]
+    # Denser networks overhear more: higher per-node setup energy.
+    assert cost[1] > cost[0]
+    assert all(float(r[3]) > 0.95 for r in table.rows)  # radio dominates
+
+
+def test_energy_reporting_fusion_saves():
+    table = energy_cost.run_reporting_cost(
+        n=200, density=12.0, seed=0, n_events=5, reporters_per_event=4
+    )
+    rows = {r[0]: [float(x) for x in r[1:]] for r in table.rows}
+    assert rows["duplicate fusion"][0] < rows["no fusion"][0]
+    assert rows["duplicate fusion"][1] > rows["no fusion"][1]
+
+
+def test_refresh_vulnerability_story():
+    table = refresh_vulnerability.run(n=200, density=12.0, seed=5)
+    rows = {r[0]: r[1:] for r in table.rows}
+    assert int(rows["reelect"][0]) > 0
+    assert int(rows["recluster"][0]) == 0
+    assert int(rows["rehash"][0]) == 0
+    assert rows["rehash"][2] == "True"
+
+
+def test_refresh_ablation_costs():
+    table = run_refresh(n=200, density=12.0, seed=0)
+    rows = {r[0]: r[1:] for r in table.rows}
+    assert int(rows["rehash"][0]) == 0
+    assert int(rows["recluster"][0]) > 0
+    for strategy in ("rehash", "recluster"):
+        assert rows[strategy][1] == "False"  # stolen keys invalidated
+        assert rows[strategy][2] == "True"  # delivery survives
+
+
+def test_counter_mode_ablation():
+    table = run_counter_mode(n=200, density=12.0, seed=0)
+    rows = {r[0]: r[1:] for r in table.rows}
+    assert float(rows["explicit"][0]) == float(rows["implicit"][0]) + 6.0
+    assert rows["implicit"][1] == "False"
+    assert rows["explicit"][1] == "True"

@@ -1,0 +1,125 @@
+"""Cluster key setup: structural invariants over random topologies.
+
+Property-style: for several seeds/densities, the full invariant set of
+Sec. IV-B must hold (disjoint cover, 1-hop membership, shared keys,
+K_m erasure, head demotion).
+"""
+
+import pytest
+
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.metrics import cluster_assignment, validate_clusters
+from repro.protocol.setup import deploy
+from repro.protocol.state import Role
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("density", [8.0, 15.0])
+def test_invariants_hold(seed, density):
+    deployed, _ = deploy(120, density, seed=seed)
+    assert validate_clusters(deployed) == []
+
+
+def test_every_node_decided_and_member():
+    deployed, _ = deploy(100, 10.0, seed=1)
+    for agent in deployed.agents.values():
+        assert agent.state.decided
+        # Heads demote to members once setup finishes (Sec. IV-B.1).
+        assert agent.state.role is Role.MEMBER
+        assert agent.operational
+
+
+def test_clusters_are_disjoint_cover():
+    deployed, _ = deploy(100, 10.0, seed=2)
+    clusters = cluster_assignment(deployed)
+    members = [nid for ms in clusters.values() for nid in ms]
+    assert len(members) == len(set(members)) == len(deployed.agents)
+
+
+def test_master_key_erased_everywhere():
+    deployed, _ = deploy(80, 10.0, seed=3)
+    for agent in deployed.agents.values():
+        assert agent.state.preload.master_key.erased
+
+
+def test_node_key_and_cluster_keys_survive():
+    deployed, _ = deploy(80, 10.0, seed=3)
+    for agent in deployed.agents.values():
+        assert not agent.state.preload.node_key.erased
+        assert agent.state.stored_key_count() >= 1
+
+
+def test_cluster_key_is_heads_candidate_key():
+    deployed, _ = deploy(80, 10.0, seed=4)
+    clusters = cluster_assignment(deployed)
+    for cid, members in clusters.items():
+        head_key = deployed.agents[cid].state.preload.cluster_key
+        for nid in members:
+            assert deployed.agents[nid].state.keyring.get(cid) == head_key
+
+
+def test_neighbor_cluster_keys_stored():
+    # A node adjacent to a member of another cluster must hold that
+    # cluster's key after link establishment (Sec. IV-B.2).
+    deployed, _ = deploy(150, 12.0, seed=5)
+    net = deployed.network
+    for nid, agent in deployed.agents.items():
+        neighbor_cids = {
+            deployed.agents[nb].state.cid
+            for nb in net.adjacency(nid)
+            if nb in deployed.agents
+        }
+        for cid in neighbor_cids:
+            assert agent.state.keyring.has(cid), (nid, cid)
+
+
+def test_hello_count_equals_cluster_count():
+    deployed, metrics = deploy(120, 10.0, seed=6)
+    assert metrics.hello_messages == metrics.cluster_count
+
+
+def test_linkinfo_count_equals_n():
+    deployed, metrics = deploy(120, 10.0, seed=6)
+    assert metrics.linkinfo_messages == metrics.n
+
+
+def test_isolated_node_becomes_singleton_head():
+    # Density so low that some nodes have no neighbors.
+    deployed, metrics = deploy(30, 0.5, seed=7)
+    assert validate_clusters(deployed) == []
+    sizes = [len(ms) for ms in metrics.clusters.values()]
+    assert 1 in sizes
+
+
+def test_deterministic_given_seed():
+    _, m1 = deploy(100, 10.0, seed=8)
+    _, m2 = deploy(100, 10.0, seed=8)
+    assert m1.clusters == m2.clusters
+    assert m1.keys_per_node == m2.keys_per_node
+
+
+def test_different_seeds_differ():
+    _, m1 = deploy(100, 10.0, seed=1)
+    _, m2 = deploy(100, 10.0, seed=2)
+    assert m1.clusters != m2.clusters
+
+
+def test_longer_timers_reduce_singletons():
+    config_fast = ProtocolConfig(mean_hello_delay_s=0.02)
+    config_slow = ProtocolConfig(mean_hello_delay_s=1.0)
+    singles_fast = []
+    singles_slow = []
+    for seed in range(3):
+        _, mf = deploy(150, 10.0, seed=seed, config=config_fast)
+        _, ms = deploy(150, 10.0, seed=seed, config=config_slow)
+        singles_fast.append(mf.singleton_fraction)
+        singles_slow.append(ms.singleton_fraction)
+    assert sum(singles_slow) < sum(singles_fast)
+
+
+@pytest.mark.parametrize("seed", range(10, 18))
+def test_invariants_hold_wide_seed_sweep(seed):
+    # A wider sweep at mixed densities (cheap since the crypto caches).
+    density = 6.0 + (seed % 4) * 4.0
+    deployed, _ = deploy(100, density, seed=seed)
+    assert validate_clusters(deployed) == []

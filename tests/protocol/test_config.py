@@ -1,0 +1,45 @@
+"""ProtocolConfig validation."""
+
+import pytest
+
+from repro.crypto.aead import AeadConfig
+from repro.protocol.config import ProtocolConfig
+
+
+def test_defaults_valid():
+    config = ProtocolConfig()
+    assert config.aead == AeadConfig(cipher="speck64/128", tag_len=8)
+    assert config.setup_end_s == 5.0 + 1.0 + 1.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mean_hello_delay_s": 0},
+        {"counter_window": 0},
+        {"dedup_cache_size": 0},
+        {"refresh_strategy": "bogus"},
+        {"revocation_chain_length": 0},
+        {"freshness_window_s": -1},
+        {"join_window_s": 0},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ProtocolConfig(**kwargs)
+
+
+def test_cluster_phase_must_cover_election_timers():
+    with pytest.raises(ValueError, match="at least 4x"):
+        ProtocolConfig(mean_hello_delay_s=2.0, cluster_phase_duration_s=5.0)
+
+
+def test_frozen():
+    config = ProtocolConfig()
+    with pytest.raises(AttributeError):
+        config.tag_len = 4
+
+
+def test_refresh_strategies():
+    assert ProtocolConfig(refresh_strategy="rehash").refresh_strategy == "rehash"
+    assert ProtocolConfig(refresh_strategy="recluster").refresh_strategy == "recluster"

@@ -1,0 +1,45 @@
+"""Connectivity reporting."""
+
+from repro.analysis import connectivity_report
+from tests.conftest import run_for, small_deployment
+
+
+def test_healthy_network_fully_routable():
+    deployed = small_deployment(n=150, density=12.0, seed=250)
+    report = connectivity_report(deployed)
+    assert report.total_nodes == report.alive_nodes == 150
+    assert report.orphaned_nodes == 0
+    assert report.routable_fraction > 0.95
+    assert report.components >= 1
+    assert report.largest_component <= 150
+    assert report.max_hops >= 1
+
+
+def test_deaths_show_up():
+    deployed = small_deployment(n=150, density=12.0, seed=251)
+    for nid in sorted(deployed.agents)[:20]:
+        deployed.network.node(nid).die()
+    report = connectivity_report(deployed)
+    assert report.alive_nodes == 130
+    assert report.total_nodes == 150
+
+
+def test_revocation_creates_orphans():
+    deployed = small_deployment(n=150, density=12.0, seed=252)
+    victim = sorted(deployed.agents)[5]
+    cids = list(deployed.agents[victim].state.keyring.cluster_ids())
+    deployed.bs_agent.revoke_clusters(cids)
+    run_for(deployed, 10)
+    report = connectivity_report(deployed)
+    assert report.orphaned_nodes > 0
+    assert report.routable_nodes < report.alive_nodes
+
+
+def test_sparse_network_reports_unreachable():
+    deployed = small_deployment(n=50, density=2.0, seed=253)
+    report = connectivity_report(deployed)
+    assert report.components > 1
+    # Someone is cut off from the BS but still clustered.
+    assert report.unreachable_nodes + report.routable_nodes + report.orphaned_nodes == (
+        report.alive_nodes
+    )

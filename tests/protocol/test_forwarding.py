@@ -1,0 +1,175 @@
+"""Step 1 / Step 2 envelopes, counter recovery, dedup cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aead import AeadConfig, AuthenticationError
+from repro.protocol.forwarding import (
+    DedupCache,
+    InnerEnvelope,
+    StaleMessage,
+    build_inner,
+    hop_key,
+    open_inner,
+    parse_inner,
+    unwrap_hop,
+    wrap_hop,
+)
+
+AEAD = AeadConfig()
+NODE_KEY = bytes(range(16))
+CLUSTER_KEY = bytes(range(16, 32))
+
+
+class TestStep1:
+    @given(st.binary(max_size=100), st.integers(min_value=1, max_value=2**31))
+    def test_encrypted_roundtrip(self, reading, counter):
+        c1 = build_inner(42, reading, NODE_KEY, counter, AEAD)
+        env = parse_inner(c1)
+        assert env.source == 42 and env.encrypted
+        got, used = open_inner(env, NODE_KEY, counter - 1, 4, AEAD)
+        assert got == reading and used == counter
+
+    def test_plaintext_mode(self):
+        c1 = build_inner(7, b"reading", None, None, AEAD)
+        env = parse_inner(c1)
+        assert env == InnerEnvelope(7, False, b"reading")
+
+    def test_counter_window_recovery(self):
+        # Messages 1..5 lost; message 6 must still decrypt within window.
+        c1 = build_inner(1, b"r", NODE_KEY, 6, AEAD)
+        got, used = open_inner(parse_inner(c1), NODE_KEY, 0, 32, AEAD)
+        assert got == b"r" and used == 6
+
+    def test_desync_beyond_window_fails(self):
+        c1 = build_inner(1, b"r", NODE_KEY, 40, AEAD)
+        with pytest.raises(AuthenticationError):
+            open_inner(parse_inner(c1), NODE_KEY, 0, 32, AEAD)
+
+    def test_old_counter_not_accepted(self):
+        # A frame at counter <= last must fail: the window starts at last+1.
+        c1 = build_inner(1, b"r", NODE_KEY, 5, AEAD)
+        with pytest.raises(AuthenticationError):
+            open_inner(parse_inner(c1), NODE_KEY, 5, 32, AEAD)
+
+    def test_missing_counter_raises(self):
+        with pytest.raises(ValueError):
+            build_inner(1, b"r", NODE_KEY, None, AEAD)
+
+    def test_parse_too_short(self):
+        with pytest.raises(ValueError):
+            parse_inner(b"abc")
+
+    def test_ad_binds_source(self):
+        # Re-labelling the clear source id must break the seal.
+        c1 = bytearray(build_inner(9, b"r", NODE_KEY, 1, AEAD))
+        c1[:4] = (8).to_bytes(4, "big")
+        env = parse_inner(bytes(c1))
+        with pytest.raises(AuthenticationError):
+            open_inner(env, NODE_KEY, 0, 8, AEAD)
+
+
+class TestStep2:
+    def _wrap(self, c1=b"inner", seq=1, tau=100.0, sender=5, cid=9, hops=3):
+        return wrap_hop(CLUSTER_KEY, cid, sender, seq, hops, tau, c1, AEAD)
+
+    @given(st.binary(max_size=80), st.integers(min_value=1, max_value=2**30))
+    def test_roundtrip(self, c1, seq):
+        frame = wrap_hop(CLUSTER_KEY, 9, 5, seq, 3, 100.0, c1, AEAD)
+        header, got = unwrap_hop(CLUSTER_KEY, frame, 100.5, 30.0, AEAD)
+        assert got == c1
+        assert (header.cid, header.sender, header.seq, header.hops_to_bs) == (9, 5, seq, 3)
+
+    def test_freshness_window(self):
+        frame = self._wrap(tau=100.0)
+        # Within window: fine.
+        unwrap_hop(CLUSTER_KEY, frame, 129.0, 30.0, AEAD)
+        with pytest.raises(StaleMessage):
+            unwrap_hop(CLUSTER_KEY, frame, 131.0, 30.0, AEAD)
+
+    def test_wrong_cluster_key_rejected(self):
+        frame = self._wrap()
+        with pytest.raises(AuthenticationError):
+            unwrap_hop(bytes(16), frame, 100.0, 30.0, AEAD)
+
+    def test_header_tamper_rejected(self):
+        frame = bytearray(self._wrap())
+        frame[1 + 8] ^= 1  # flip a bit in the sender field
+        with pytest.raises(AuthenticationError):
+            unwrap_hop(CLUSTER_KEY, bytes(frame), 100.0, 30.0, AEAD)
+
+    def test_payload_tamper_rejected(self):
+        frame = bytearray(self._wrap())
+        frame[-1] ^= 1
+        with pytest.raises(AuthenticationError):
+            unwrap_hop(CLUSTER_KEY, bytes(frame), 100.0, 30.0, AEAD)
+
+    def test_per_sender_subkeys_are_independent(self):
+        assert hop_key(CLUSTER_KEY, 1) != hop_key(CLUSTER_KEY, 2)
+        # Same seq from different senders must not share keystream.
+        f1 = wrap_hop(CLUSTER_KEY, 9, 1, 5, 3, 100.0, b"same", AEAD)
+        f2 = wrap_hop(CLUSTER_KEY, 9, 2, 5, 3, 100.0, b"same", AEAD)
+        assert f1 != f2
+
+    def test_any_cluster_key_holder_can_open(self):
+        # The broadcast property: opening needs only K_c, not per-pair state.
+        frame = self._wrap(c1=b"shared", sender=77)
+        _, c1 = unwrap_hop(CLUSTER_KEY, frame, 100.0, 30.0, AEAD)
+        assert c1 == b"shared"
+
+
+class TestDedupCache:
+    def test_detects_duplicates(self):
+        cache = DedupCache(16)
+        assert not cache.seen_before(b"m1")
+        assert cache.seen_before(b"m1")
+        assert not cache.seen_before(b"m2")
+
+    def test_lru_eviction(self):
+        cache = DedupCache(2)
+        cache.seen_before(b"a")
+        cache.seen_before(b"b")
+        cache.seen_before(b"c")  # evicts a
+        assert len(cache) == 2
+        assert not cache.seen_before(b"a")
+
+    def test_hit_refreshes_recency(self):
+        cache = DedupCache(2)
+        cache.seen_before(b"a")
+        cache.seen_before(b"b")
+        cache.seen_before(b"a")  # a becomes most-recent
+        cache.seen_before(b"c")  # evicts b
+        assert cache.seen_before(b"a")
+        assert not cache.seen_before(b"b")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DedupCache(0)
+
+
+class TestCounterWindowProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=200), max_size=60))
+    def test_never_accepts_twice(self, counters):
+        from repro.protocol.forwarding import CounterWindow
+
+        w = CounterWindow(16)
+        accepted = []
+        for c in counters:
+            if w.would_accept(c):
+                w.accept(c)
+                accepted.append(c)
+        # No duplicates ever accepted, high water is the max accepted.
+        assert len(accepted) == len(set(accepted))
+        if accepted:
+            assert w.high_water == max(accepted)
+
+    @given(st.lists(st.integers(min_value=1, max_value=200), max_size=60))
+    def test_candidates_are_acceptable(self, counters):
+        from repro.protocol.forwarding import CounterWindow
+
+        w = CounterWindow(8)
+        for c in counters:
+            if w.would_accept(c):
+                w.accept(c)
+        for cand in w.candidates():
+            assert w.would_accept(cand)

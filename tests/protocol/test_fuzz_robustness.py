@@ -1,0 +1,106 @@
+"""Fuzz robustness: arbitrary bytes off the air must never crash a node.
+
+A sensor network's radio delivers whatever an adversary airs. Every
+handler must treat malformed, truncated and random frames as data — drop
+and count, never raise. These tests drive random bytes (and structured
+near-misses) through the full dispatch path of agents, the base station
+and a joining node.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.protocol import messages
+from repro.protocol.addition import deploy_new_node
+from tests.conftest import small_deployment
+
+# One shared deployment: the fuzz only reads/drops, never mutates
+# protocol state beyond counters.
+_DEPLOYED = small_deployment(n=60, density=8.0, seed=240)
+_AGENT = next(iter(_DEPLOYED.agents.values()))
+_BS = _DEPLOYED.bs_agent
+
+fuzz_settings = settings(
+    max_examples=150, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+
+
+@fuzz_settings
+@given(st.binary(max_size=200))
+def test_agent_survives_random_frames(frame):
+    _AGENT.on_frame(0, frame)  # must not raise
+
+
+@fuzz_settings
+@given(st.binary(max_size=200))
+def test_bs_survives_random_frames(frame):
+    _BS.on_frame(0, frame)  # must not raise
+
+
+@fuzz_settings
+@given(
+    st.sampled_from(
+        [
+            messages.HELLO,
+            messages.LINKINFO,
+            messages.DATA,
+            messages.REVOKE,
+            messages.JOIN_REQ,
+            messages.JOIN_RESP,
+            messages.REFRESH,
+            messages.REELECT_HELLO,
+        ]
+    ),
+    st.binary(max_size=120),
+)
+def test_agent_survives_typed_garbage(msg_type, body):
+    # Correct type byte, garbage body: exercises every parser's error path.
+    _AGENT.on_frame(0, bytes([msg_type]) + body)
+
+
+@fuzz_settings
+@given(st.binary(min_size=1, max_size=200))
+def test_truncations_of_valid_frames_are_safe(prefix):
+    # Take a genuine DATA frame and feed every kind of mangled variant.
+    st_ = _AGENT.state
+    from repro.protocol.forwarding import build_inner, wrap_hop
+
+    c1 = build_inner(st_.node_id, b"payload", None, None, _DEPLOYED.config.aead)
+    frame = wrap_hop(
+        st_.keyring.get(st_.cid).material,
+        st_.cid,
+        st_.node_id,
+        st_.hop_seq + 1000,
+        st_.hops_to_bs,
+        _DEPLOYED.network.sim.now,
+        c1,
+        _DEPLOYED.config.aead,
+    )
+    for mangled in (frame[: len(prefix) % len(frame)], prefix + frame, frame + prefix):
+        _AGENT.on_frame(0, mangled)
+        _BS.on_frame(0, mangled)
+
+
+def test_joining_node_survives_garbage():
+    deployed = small_deployment(n=40, density=8.0, seed=241)
+    joiner = deploy_new_node(deployed, deployed.network.node(1).position + 0.3)
+    joiner.on_frame(0, b"")
+    joiner.on_frame(0, bytes([messages.JOIN_RESP]))
+    joiner.on_frame(0, bytes([messages.JOIN_RESP]) + bytes(50))
+    joiner.on_frame(0, bytes(100))
+    # And it still completes its handshake afterwards.
+    sim = deployed.network.sim
+    sim.run(until=sim.now + deployed.config.join_window_s + 1.0)
+    assert joiner.completed
+
+
+def test_empty_frame_everywhere():
+    _AGENT.on_frame(0, b"")
+    _BS.on_frame(0, b"")
+
+
+def test_unknown_type_counted():
+    trace = _DEPLOYED.network.trace
+    before = trace["drop.unknown_type"]
+    _AGENT.on_frame(0, bytes([99]) + b"whatever")
+    assert trace["drop.unknown_type"] == before + 1

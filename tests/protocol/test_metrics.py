@@ -1,0 +1,63 @@
+"""SetupMetrics arithmetic and cluster validation."""
+
+from repro.protocol.metrics import SetupMetrics
+from repro.protocol.setup import deploy
+from repro.util.stats import Histogram
+
+
+def make_metrics(clusters, n=None, keys=None, hello=None, link=None):
+    n = n if n is not None else sum(len(m) for m in clusters.values())
+    return SetupMetrics(
+        n=n,
+        measured_density=10.0,
+        clusters=clusters,
+        keys_per_node=keys or [1] * n,
+        hello_messages=hello if hello is not None else len(clusters),
+        linkinfo_messages=link if link is not None else n,
+    )
+
+
+def test_basic_aggregates():
+    m = make_metrics({1: [1, 2, 3], 4: [4], 5: [5, 6]})
+    assert m.cluster_count == 3
+    assert m.head_fraction == 0.5
+    assert m.mean_cluster_size == 2.0
+    assert m.singleton_fraction == 1 / 3
+    assert m.messages_per_node == (3 + 6) / 6
+
+
+def test_cluster_size_fractions():
+    m = make_metrics({1: [1], 2: [2], 3: [3, 4]})
+    assert m.cluster_size_fractions() == {1: 2 / 3, 2: 1 / 3}
+
+
+def test_keys_per_node_stats():
+    m = make_metrics({1: [1, 2]}, keys=[2, 4])
+    assert m.mean_keys_per_node == 3.0
+    assert m.max_keys_per_node == 4
+
+
+def test_empty_metrics_are_safe():
+    m = SetupMetrics(
+        n=0, measured_density=0.0, clusters={}, keys_per_node=[],
+        hello_messages=0, linkinfo_messages=0,
+    )
+    assert m.head_fraction == 0.0
+    assert m.mean_cluster_size == 0.0
+    assert m.mean_keys_per_node == 0.0
+    assert m.max_keys_per_node == 0
+    assert m.messages_per_node == 0.0
+    assert m.singleton_fraction == 0.0
+
+
+def test_fig9_identity_msgs_equals_one_plus_head_fraction():
+    # Structural identity the reproduction of Fig. 9 rests on.
+    _, metrics = deploy(150, 10.0, seed=70)
+    assert abs(metrics.messages_per_node - (1 + metrics.head_fraction)) < 1e-9
+
+
+def test_keys_metric_matches_keyring_sizes():
+    deployed, metrics = deploy(100, 10.0, seed=71)
+    assert sorted(metrics.keys_per_node) == sorted(
+        a.state.stored_key_count() for a in deployed.agents.values()
+    )

@@ -1,0 +1,50 @@
+"""Per-node protocol state."""
+
+from repro.crypto.keys import SymmetricKey
+from repro.protocol.state import NodeState, Preload, Role
+
+
+def make_preload(**kwargs):
+    defaults = dict(
+        node_key=SymmetricKey(bytes(16)),
+        cluster_key=SymmetricKey(bytes(16)),
+        master_key=SymmetricKey(bytes(16)),
+        chain_commitment=bytes(16),
+    )
+    defaults.update(kwargs)
+    return Preload(**defaults)
+
+
+def test_initial_state():
+    st = NodeState(node_id=1, preload=make_preload())
+    assert st.role is Role.UNDECIDED
+    assert not st.decided
+    assert st.cid is None
+    assert st.stored_key_count() == 0
+    assert st.chain.index == 0
+
+
+def test_chain_index_from_preload():
+    st = NodeState(node_id=1, preload=make_preload(chain_index=5))
+    assert st.chain.index == 5
+
+
+def test_counter_allocation_monotonic():
+    st = NodeState(node_id=1, preload=make_preload())
+    assert [st.next_e2e_counter() for _ in range(3)] == [1, 2, 3]
+    assert [st.next_hop_seq() for _ in range(3)] == [1, 2, 3]
+
+
+def test_accept_hop_seq():
+    st = NodeState(node_id=1, preload=make_preload())
+    assert st.accept_hop_seq(5, 1)
+    assert not st.accept_hop_seq(5, 1)  # replay
+    assert st.accept_hop_seq(5, 10)  # gaps allowed
+    assert not st.accept_hop_seq(5, 9)  # below high-water
+    assert st.accept_hop_seq(6, 1)  # independent per sender
+
+
+def test_decided_after_role():
+    st = NodeState(node_id=1, preload=make_preload())
+    st.role = Role.MEMBER
+    assert st.decided

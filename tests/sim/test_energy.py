@@ -1,0 +1,64 @@
+"""Energy model and battery accounting."""
+
+import math
+
+import pytest
+
+from repro.sim.energy import EnergyMeter, EnergyModel
+
+
+def test_radio_dominates_crypto():
+    # The paper's premise: transmissions are the expensive operation.
+    model = EnergyModel()
+    frame = 52
+    assert model.tx_cost(frame) > 100 * model.crypto_cost(frame)
+    assert model.tx_cost(frame) > 100 * model.hash_cost(frame)
+
+
+def test_costs_scale_with_bytes():
+    model = EnergyModel()
+    assert math.isclose(model.tx_cost(100), 10 * model.tx_cost(10))
+    assert model.rx_cost(10) < model.tx_cost(10)
+
+
+def test_block_rounding():
+    model = EnergyModel()
+    # 1..8 bytes is one cipher block.
+    assert model.crypto_cost(1) == model.crypto_cost(8)
+    assert model.crypto_cost(9) == 2 * model.crypto_cost(8)
+    assert model.hash_cost(64) == model.hash_cost(1)
+    assert model.hash_cost(65) == 2 * model.hash_cost(64)
+
+
+def test_meter_accumulates_by_category():
+    meter = EnergyMeter(EnergyModel(), capacity=1e9)
+    meter.charge_tx(10)
+    meter.charge_rx(10)
+    meter.charge_crypto(16)
+    meter.charge_hash(64)
+    assert meter.tx_consumed > 0
+    assert meter.rx_consumed > 0
+    assert meter.cpu_consumed > 0
+    assert math.isclose(
+        meter.consumed, meter.tx_consumed + meter.rx_consumed + meter.cpu_consumed
+    )
+    assert meter.remaining == meter.capacity - meter.consumed
+
+
+def test_depletion():
+    meter = EnergyMeter(EnergyModel(), capacity=1.0)
+    assert not meter.depleted
+    meter.charge_tx(1000)
+    assert meter.depleted
+    assert meter.remaining < 0
+
+
+def test_infinite_capacity_default():
+    meter = EnergyMeter(EnergyModel())
+    meter.charge_tx(10**9)
+    assert not meter.depleted
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        EnergyMeter(EnergyModel(), capacity=0)

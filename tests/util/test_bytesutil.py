@@ -1,0 +1,65 @@
+"""Byte helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bytesutil import (
+    constant_time_eq,
+    from_u32_be,
+    from_u64_be,
+    hexstr,
+    to_u32_be,
+    to_u64_be,
+    xor_bytes,
+)
+
+
+@given(st.binary(max_size=64))
+def test_xor_self_is_zero(data):
+    assert xor_bytes(data, data) == bytes(len(data))
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_xor_involution(a, b):
+    if len(a) == len(b):
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+def test_xor_length_mismatch():
+    with pytest.raises(ValueError):
+        xor_bytes(b"ab", b"abc")
+
+
+@given(st.binary(max_size=32))
+def test_constant_time_eq_reflexive(data):
+    assert constant_time_eq(data, data)
+
+
+def test_constant_time_eq_differs():
+    assert not constant_time_eq(b"a", b"b")
+    assert not constant_time_eq(b"a", b"ab")
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_u32_roundtrip(x):
+    assert from_u32_be(to_u32_be(x)) == x
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_u64_roundtrip(x):
+    assert from_u64_be(to_u64_be(x)) == x
+
+
+def test_u32_wraps_on_encode():
+    assert to_u32_be(2**32 + 5) == to_u32_be(5)
+
+
+def test_from_u32_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        from_u32_be(b"abc")
+    with pytest.raises(ValueError):
+        from_u64_be(b"abc")
+
+
+def test_hexstr():
+    assert hexstr(b"\x00\xff") == "00ff"

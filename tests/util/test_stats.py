@@ -1,0 +1,54 @@
+"""Streaming statistics and histograms."""
+
+import math
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.util.stats import Histogram, RunningStats, histogram, mean_confidence_interval
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@given(st.lists(floats, min_size=2, max_size=200))
+def test_matches_numpy(xs):
+    rs = RunningStats()
+    rs.extend(xs)
+    assert math.isclose(rs.mean, float(np.mean(xs)), rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(rs.variance, float(np.var(xs, ddof=1)), rel_tol=1e-6, abs_tol=1e-5)
+
+
+def test_empty_and_single():
+    rs = RunningStats()
+    assert rs.mean == 0.0 and rs.variance == 0.0
+    rs.add(5.0)
+    assert rs.mean == 5.0 and rs.variance == 0.0 and rs.stdev == 0.0
+
+
+def test_confidence_interval():
+    mean, half = mean_confidence_interval([1.0, 2.0, 3.0])
+    assert math.isclose(mean, 2.0)
+    assert half > 0
+
+
+def test_confidence_interval_degenerate():
+    assert mean_confidence_interval([]) == (0.0, 0.0)
+    assert mean_confidence_interval([7.0]) == (7.0, 0.0)
+
+
+def test_histogram_fractions():
+    h = histogram([1, 1, 2, 3])
+    fr = h.fractions()
+    assert fr == {1: 0.5, 2: 0.25, 3: 0.25}
+    assert h.total == 4
+
+
+def test_histogram_weighted():
+    h = Histogram()
+    h.add(2, weight=3)
+    h.add(5)
+    assert h.counts == {2: 3, 5: 1}
+
+
+def test_empty_histogram():
+    assert Histogram().fractions() == {}

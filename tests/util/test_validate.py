@@ -1,0 +1,28 @@
+"""Validation helpers."""
+
+import pytest
+
+from repro.util.validate import check_positive, check_probability, check_range
+
+
+def test_check_positive():
+    assert check_positive("x", 0.5) == 0.5
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", 0)
+    with pytest.raises(ValueError):
+        check_positive("x", -1)
+
+
+def test_check_range():
+    assert check_range("y", 5, 0, 10) == 5
+    assert check_range("y", 0, 0, 10) == 0
+    assert check_range("y", 10, 0, 10) == 10
+    with pytest.raises(ValueError, match="y must be in"):
+        check_range("y", 11, 0, 10)
+
+
+def test_check_probability():
+    assert check_probability("p", 0.0) == 0.0
+    assert check_probability("p", 1.0) == 1.0
+    with pytest.raises(ValueError):
+        check_probability("p", 1.01)
