@@ -1,0 +1,76 @@
+"""Runtime throughput: key-setup wall time, sim vs loopback.
+
+The loopback transport re-implements the simulator's calendar queue
+without the radio/energy/CSMA bookkeeping, so it should run key setup at
+least in the same ballpark. This benchmark times a full ``deploy_live``
+key setup on both backends at two network sizes and writes the numbers
+to ``BENCH_runtime.json`` at the repo root — the machine-readable perf
+trajectory the next optimization PR diffs against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import deploy_live
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_runtime.json"
+
+SIZES = (100, 400)
+DENSITY = 10.0
+SEED = 0
+
+_results: dict[str, dict] = {}
+
+
+def _events_executed(deployed) -> int:
+    transport = deployed.network.transport
+    if transport.name == "sim":
+        return transport._network.sim.events_executed
+    return transport.events_executed
+
+
+def _run_once(transport: str, n: int) -> dict:
+    start = time.perf_counter()
+    deployed, metrics = deploy_live(n, DENSITY, seed=SEED, transport=transport)
+    wall_s = time.perf_counter() - start
+    events = _events_executed(deployed)
+    return {
+        "n": n,
+        "transport": transport,
+        "setup_wall_s": round(wall_s, 4),
+        "events_executed": events,
+        "events_per_s": round(events / wall_s, 1),
+        "clusters": metrics.cluster_count,
+        "frames_sent": deployed.network.transport.frames_sent,
+    }
+
+
+@pytest.mark.parametrize("transport", ["sim", "loopback"])
+@pytest.mark.parametrize("n", SIZES)
+def test_setup_throughput(transport, n):
+    result = _run_once(transport, n)
+    _results[f"{transport}_n{n}"] = result
+    assert result["clusters"] > 0
+    assert result["events_per_s"] > 0
+
+
+def test_write_bench_json():
+    """Runs last (file order): persist everything the matrix measured."""
+    assert len(_results) == 2 * len(SIZES), "matrix must run before the writer"
+    # Loopback must reproduce the sim's cluster structure at every size —
+    # a throughput number for a *different* computation would be noise.
+    for n in SIZES:
+        assert _results[f"sim_n{n}"]["clusters"] == _results[f"loopback_n{n}"]["clusters"]
+    payload = {
+        "benchmark": "runtime_setup_throughput",
+        "density": DENSITY,
+        "seed": SEED,
+        "results": [_results[k] for k in sorted(_results)],
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {BENCH_PATH}")

@@ -9,11 +9,9 @@ price of lower connectivity (hence larger rings for the same coverage).
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
-from repro.baselines.common import KeyId, KeySchemeModel
+from repro.baselines.common import KeyId
 from repro.baselines.random_kp import EschenauerGligorScheme
 from repro.sim.topology import Deployment
 

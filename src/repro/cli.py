@@ -7,7 +7,10 @@ Commands:
   (``--fig all`` or a specific one: 1, 6, 7, 8, 9);
 * ``experiments`` — the non-figure experiments (resilience, broadcast
   cost, attacks, LEAP weakness, timing, energy, ablations);
-* ``inspect`` — deploy and print a cluster map + setup metrics.
+* ``inspect`` — deploy and print a cluster map + setup metrics;
+* ``run-live`` — bring up a live deployment on a real transport
+  (in-process loopback or UDP sockets), push a reporting workload and
+  print the gateway's JSON status snapshot.
 
 All commands accept ``--n``, ``--density`` and ``--seed``.
 """
@@ -140,6 +143,79 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_live(args: argparse.Namespace) -> int:
+    from repro.runtime import TRANSPORTS, GatewayService, deploy_live
+    from repro.workloads import PeriodicReporting
+
+    if args.transport not in TRANSPORTS:
+        print(
+            f"unknown transport {args.transport!r}: choose one of "
+            f"{', '.join(TRANSPORTS)} (loopback = deterministic in-process "
+            f"asyncio; udp = real datagram sockets on 127.0.0.1; sim = the "
+            f"discrete-event simulator)"
+        )
+        return 2
+
+    for name, value, ok in (
+        ("--period", args.period, args.period > 0),
+        ("--rounds", args.rounds, args.rounds >= 1),
+        ("--settle", args.settle, args.settle >= 0),
+        ("--time-scale", args.time_scale, args.time_scale > 0),
+        ("--pace", args.pace, args.pace >= 0),
+    ):
+        if not ok:
+            print(f"invalid {name} {value}: must be positive")
+            return 2
+
+    transport_kwargs = {}
+    if args.transport == "udp":
+        transport_kwargs = {"base_port": args.base_port, "time_scale": args.time_scale}
+    elif args.transport == "loopback":
+        transport_kwargs = {"pace": args.pace}
+
+    try:
+        deployed, metrics = deploy_live(
+            n=args.n,
+            density=args.density,
+            seed=args.seed,
+            transport=args.transport,
+            **transport_kwargs,
+        )
+    except OSError as exc:
+        # Typically EADDRINUSE: another run already owns the UDP port range.
+        print(f"could not bring up the {args.transport} transport: {exc}")
+        print("hint: pick a different --base-port")
+        return 1
+    sources = [nid for nid, a in deployed.agents.items() if a.state.hops_to_bs > 0]
+    workload = PeriodicReporting(
+        deployed, sources, period_s=args.period, rounds=args.rounds
+    )
+    workload.start()
+    deployed.run_for(workload.duration_s + args.settle)
+
+    gateway = GatewayService(deployed)
+    latencies = workload.latencies()
+    print(
+        gateway.to_json(
+            setup={
+                "clusters": metrics.cluster_count,
+                "mean_keys_per_node": round(metrics.mean_keys_per_node, 3),
+                "setup_messages_per_node": round(metrics.messages_per_node, 3),
+            },
+            workload={
+                "sources": len(sources),
+                "readings_sent": len(workload.sent),
+                "send_failures": workload.send_failures,
+                "delivery_ratio": round(workload.delivery_ratio(), 4),
+                "mean_latency_s": round(
+                    sum(latencies) / len(latencies), 4
+                ) if latencies else None,
+            },
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -174,6 +250,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(inspect)
     inspect.add_argument("--width", type=int, default=72, help="map width in chars")
     inspect.set_defaults(func=_cmd_inspect)
+
+    run_live = sub.add_parser(
+        "run-live", help="run a live deployment on a real transport"
+    )
+    _add_common(run_live)
+    run_live.add_argument(
+        "--transport",
+        default="loopback",
+        metavar="{loopback,udp,sim}",
+        help="network backend to run the nodes on (default: loopback)",
+    )
+    run_live.add_argument(
+        "--period", type=float, default=5.0, help="reporting period in protocol seconds"
+    )
+    run_live.add_argument(
+        "--rounds", type=int, default=3, help="reports per source"
+    )
+    run_live.add_argument(
+        "--settle",
+        type=float,
+        default=5.0,
+        help="extra protocol seconds to run after the last report",
+    )
+    run_live.add_argument(
+        "--base-port", type=int, default=47_000, help="udp only: first node port"
+    )
+    run_live.add_argument(
+        "--time-scale",
+        type=float,
+        default=10.0,
+        help="udp only: protocol seconds per wall second",
+    )
+    run_live.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        help="loopback only: wall seconds per protocol second (0 = fast)",
+    )
+    run_live.set_defaults(func=_cmd_run_live)
     return parser
 
 

@@ -61,7 +61,7 @@ class LeapAgent:
         self.node = node
         self.aead = aead
         self._rng = timer_rng
-        self._trace = node.network.trace
+        self._trace = node.trace
         self.discovery_window_s = discovery_window_s
         self.k_init = k_init
         #: Retained for the network's lifetime (LEAP's later-joiner path).

@@ -58,7 +58,7 @@ class JoiningNodeAgent:
         self.preload = preload
         self._rng = timer_rng
         self._hash_epoch = hash_epoch
-        self._trace = node.network.trace
+        self._trace = node.trace
         #: Candidate (cid, tag) pairs in arrival order, first-response-first.
         self._candidates: list[tuple[int, bytes]] = []
         self._seen_cids: set[int] = set()

@@ -29,7 +29,6 @@ from repro.protocol import messages
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.forwarding import (
     DedupCache,
-    ReplayedMessage,
     StaleMessage,
     build_inner,
     parse_inner,
@@ -61,7 +60,7 @@ class ProtocolAgent:
         self.config = config
         self.state = NodeState(node_id=node.id, preload=preload)
         self._rng = timer_rng
-        self._trace = node.network.trace
+        self._trace = node.trace
         self._dedup = DedupCache(config.dedup_cache_size)
         self._hello_timer = None
         self.operational = False
@@ -226,7 +225,7 @@ class ProtocolAgent:
             st.node_id,
             st.next_hop_seq(),
             st.hops_to_bs,
-            self.node.network.sim.now,
+            self.node.now(),
             c1,
             self.config.aead,
         )
@@ -251,7 +250,7 @@ class ProtocolAgent:
             header, c1 = unwrap_hop(
                 st.keyring.get(header.cid).material,
                 frame,
-                self.node.network.sim.now,
+                self.node.now(),
                 self.config.freshness_window_s,
                 self.config.aead,
             )

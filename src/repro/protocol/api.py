@@ -92,9 +92,8 @@ class SecureSensorNetwork:
         self._deployed.agents[source].send_reading(data)
 
     def run(self, duration_s: float) -> None:
-        """Advance simulated time by ``duration_s``."""
-        sim = self.network.sim
-        sim.run(until=sim.now + duration_s)
+        """Advance protocol time by ``duration_s``."""
+        self._deployed.run_for(duration_s)
 
     def readings(self) -> list[DeliveredReading]:
         """Everything the base station has accepted so far."""

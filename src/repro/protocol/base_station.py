@@ -17,7 +17,7 @@ Its runtime duties:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.crypto.aead import AuthenticationError
@@ -79,7 +79,7 @@ class BaseStationAgent:
         self.node = node
         self.config = config
         self.registry = registry
-        self._trace = node.network.trace
+        self._trace = node.trace
         self._dedup = DedupCache(config.dedup_cache_size)
         #: Cached current cluster keys, kept in step with refreshes.
         self._cluster_keys: dict[int, bytes] = {}
@@ -182,7 +182,7 @@ class BaseStationAgent:
             header, c1 = unwrap_hop(
                 self.cluster_key(header.cid),
                 frame,
-                self.node.network.sim.now,
+                self.node.now(),
                 self.config.freshness_window_s,
                 self.config.aead,
             )
@@ -219,7 +219,7 @@ class BaseStationAgent:
         if not envelope.encrypted:
             self.delivered.append(
                 DeliveredReading(
-                    self.node.network.sim.now, envelope.source, envelope.payload, False
+                    self.node.now(), envelope.source, envelope.payload, False
                 )
             )
             self._trace.count("bs.delivered")
@@ -244,7 +244,7 @@ class BaseStationAgent:
             self._reject()
             return
         self.delivered.append(
-            DeliveredReading(self.node.network.sim.now, envelope.source, reading, True)
+            DeliveredReading(self.node.now(), envelope.source, reading, True)
         )
         self._trace.count("bs.delivered")
 

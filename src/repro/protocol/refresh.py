@@ -58,8 +58,7 @@ class RefreshCoordinator:
         epoch = self.refresh_once()
         if self.deployed.config.refresh_strategy == "reelect":
             settle_s = max(settle_s, self.deployed.config.setup_end_s + 0.1)
-        sim = self.deployed.network.sim
-        sim.run(until=sim.now + settle_s)
+        self.deployed.run_for(settle_s)
         return epoch
 
     def _rehash(self) -> None:
@@ -109,7 +108,7 @@ class RefreshCoordinator:
             if agent.node.alive:
                 agent.begin_reelection(self.epoch, config.cluster_phase_duration_s)
         # Election + link phase + settle, mirroring the initial setup.
-        self.deployed.network.sim.schedule(config.setup_end_s, self._finish_reelection)
+        self.deployed.schedule(config.setup_end_s, self._finish_reelection)
 
     def _finish_reelection(self) -> None:
         for agent in self.deployed.agents.values():
@@ -128,9 +127,8 @@ class RefreshCoordinator:
         """Arm ``rounds`` refresh rounds every ``period_s`` seconds of sim time."""
         if period_s <= 0:
             raise ValueError("period_s must be > 0")
-        sim = self.deployed.network.sim
         for k in range(1, rounds + 1):
-            sim.schedule(period_s * k, self._periodic_tick)
+            self.deployed.schedule(period_s * k, self._periodic_tick)
 
     def _periodic_tick(self) -> None:
         self.refresh_once()

@@ -15,6 +15,7 @@ figures are computed from.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.crypto.kdf import derive_cluster_key
 from repro.crypto.keychain import KeyChain
@@ -40,6 +41,29 @@ class DeployedProtocol:
         """Agent of sensor ``node_id``."""
         return self.agents[node_id]
 
+    # -- timer interface ---------------------------------------------------
+    #
+    # All orchestration (refresh rounds, workloads, experiments) goes
+    # through these three methods rather than touching ``network.sim``
+    # directly, so a deployment backed by a live transport (see
+    # :mod:`repro.runtime`) drives the exact same code.
+
+    def now(self) -> float:
+        """Current protocol time (simulated or transport-provided)."""
+        return self.network.sim.now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]):
+        """Arm ``callback`` to fire ``delay`` protocol-seconds from now."""
+        return self.network.sim.schedule(delay, callback)
+
+    def run_until(self, time_s: float) -> float:
+        """Drive the clock to absolute protocol time ``time_s``."""
+        return self.network.sim.run(until=time_s)
+
+    def run_for(self, duration_s: float) -> float:
+        """Drive the clock forward by ``duration_s`` protocol-seconds."""
+        return self.run_until(self.now() + duration_s)
+
     def assign_gradient(self) -> None:
         """Give every agent its hop distance to the base station.
 
@@ -53,7 +77,14 @@ class DeployedProtocol:
 
 
 def provision(network: Network, config: ProtocolConfig | None = None) -> DeployedProtocol:
-    """Initialization phase: manufacture keys and attach agents."""
+    """Initialization phase: manufacture keys and attach agents.
+
+    ``network`` may be the discrete-event :class:`~repro.sim.network.Network`
+    or any structurally compatible deployment (``sensor_ids``/``node``/
+    ``rng``/``bs``), e.g. :class:`repro.runtime.cluster.LiveNetwork` —
+    agents only ever see the node-level surface (broadcast / schedule /
+    now / trace), never the simulator.
+    """
     config = config or ProtocolConfig()
     key_rng = network.rng.stream("keys")
     timer_rng = network.rng.stream("timers")
@@ -101,7 +132,7 @@ def run_key_setup(
     deployed = provision(network, config)
     for agent in deployed.agents.values():
         agent.start_setup()
-    network.sim.run(until=deployed.config.setup_end_s)
+    deployed.run_until(deployed.config.setup_end_s)
     deployed.assign_gradient()
     metrics = compute_setup_metrics(deployed)
     return deployed, metrics

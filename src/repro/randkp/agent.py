@@ -56,7 +56,7 @@ class RandKpAgent:
         self.ring_ids = tuple(sorted(ring))
         self.aead = aead
         self._rng = timer_rng
-        self._trace = node.network.trace
+        self._trace = node.trace
         self.discovery_window_s = discovery_window_s
         #: Chan–Perrig–Song q-composite threshold: a direct link needs at
         #: least q shared pool keys, and its key hashes all of them (q=1

@@ -1,0 +1,42 @@
+"""repro.runtime — live, transport-agnostic protocol runtime.
+
+Runs the paper's protocol agents as real networked processes instead of
+simulator entities. The pieces:
+
+* :class:`~repro.runtime.transport.Transport` — the clock/timer/broadcast
+  abstraction, with three backends:
+  :class:`~repro.runtime.transport.SimTransport` (the discrete-event
+  simulator, bit-reproducible),
+  :class:`~repro.runtime.loopback.LoopbackTransport` (in-process asyncio,
+  deterministic) and :class:`~repro.runtime.udp.UdpTransport` (real
+  datagram sockets, per-node ports);
+* :class:`~repro.runtime.node.NodeRuntime` — hosts one unmodified
+  protocol agent on any transport;
+* :class:`~repro.runtime.cluster.LiveNetwork` /
+  :func:`~repro.runtime.cluster.deploy_live` — N-node live deployments
+  driven through the standard key-setup orchestration;
+* :class:`~repro.runtime.gateway.GatewayService` — JSON status/metrics
+  snapshots over the base station.
+
+Entry point: ``python -m repro run-live --n 50 --transport loopback``.
+"""
+
+from repro.runtime.cluster import TRANSPORTS, LiveNetwork, build_transport, deploy_live
+from repro.runtime.gateway import GatewayService
+from repro.runtime.loopback import LoopbackTransport
+from repro.runtime.node import NodeRuntime
+from repro.runtime.transport import SimTransport, Transport
+from repro.runtime.udp import UdpTransport
+
+__all__ = [
+    "Transport",
+    "SimTransport",
+    "LoopbackTransport",
+    "UdpTransport",
+    "NodeRuntime",
+    "LiveNetwork",
+    "TRANSPORTS",
+    "build_transport",
+    "deploy_live",
+    "GatewayService",
+]

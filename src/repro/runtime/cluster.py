@@ -1,0 +1,143 @@
+"""Live deployments: N protocol nodes on a pluggable transport.
+
+:class:`LiveNetwork` is the runtime twin of
+:class:`repro.sim.network.Network`: the same structural surface
+(``sensor_ids`` / ``node`` / ``bs`` / ``rng`` / ``trace`` / ``sim`` /
+``hop_gradient``), but its nodes are :class:`~repro.runtime.node.NodeRuntime`
+hosts on a :class:`~repro.runtime.transport.Transport` instead of
+simulator entities. Because :func:`repro.protocol.setup.provision` and
+:func:`~repro.protocol.setup.run_key_setup` only touch that surface, the
+entire key-setup orchestration — and every agent — runs unmodified on
+any backend.
+
+Topology still comes from a :class:`~repro.sim.network.Network` build:
+the unit-disk deployment, its adjacency map (reused as each transport's
+static neighbor map) and the named RNG streams are shared with the sim
+path, which is what makes sim/loopback parity and sim-transport
+bit-reproducibility possible in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.network import BS_ID, Network
+from repro.sim.radio import RadioConfig
+from repro.runtime.loopback import LoopbackTransport
+from repro.runtime.node import NodeRuntime
+from repro.runtime.transport import SimTransport, Transport
+from repro.runtime.udp import UdpTransport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.config import ProtocolConfig
+    from repro.protocol.metrics import SetupMetrics
+    from repro.protocol.setup import DeployedProtocol
+
+#: Transport backends selectable by name (CLI ``--transport`` values).
+TRANSPORTS = ("loopback", "udp", "sim")
+
+
+class LiveNetwork:
+    """A deployed set of node runtimes plus the base station, on one transport."""
+
+    def __init__(self, network: Network, transport: Transport) -> None:
+        self._net = network
+        self.transport = transport
+        self.deployment = network.deployment
+        self.rng = network.rng
+        self.nodes: dict[int, NodeRuntime] = {}
+        for nid in sorted(network.nodes):
+            self.nodes[nid] = NodeRuntime(transport, nid, network.nodes[nid].position)
+        self.bs = self.nodes[BS_ID]
+
+    # -- the network surface the protocol layer programs against ------------
+
+    @property
+    def sim(self):
+        """Simulator-compatible clock handle (the transport itself)."""
+        return self.transport
+
+    @property
+    def trace(self):
+        """The shared counter/event trace."""
+        return self.transport.trace
+
+    def node(self, node_id: int) -> NodeRuntime:
+        """Node runtime by id (including the base station)."""
+        return self.nodes[node_id]
+
+    def adjacency(self, node_id: int) -> list[int]:
+        """Static neighbor map of ``node_id`` (includes BS where in range)."""
+        return self._net.adjacency(node_id)
+
+    def sensor_ids(self) -> list[int]:
+        """Ids of ordinary sensors (excludes the base station), sorted."""
+        return sorted(nid for nid in self.nodes if nid != BS_ID)
+
+    def alive_sensor_ids(self) -> list[int]:
+        """Ids of sensors whose runtimes are still up."""
+        return [nid for nid in self.sensor_ids() if self.nodes[nid].alive]
+
+    def hop_gradient(self) -> dict[int, int]:
+        """Hop count to the base station per node id (-1 unreachable)."""
+        hops = {BS_ID: 0}
+        frontier = [BS_ID]
+        level = 0
+        while frontier:
+            level += 1
+            nxt = []
+            for u in frontier:
+                for v in self._net.adjacency(u):
+                    if v not in hops and self.nodes[v].alive:
+                        hops[v] = level
+                        nxt.append(v)
+            frontier = nxt
+        for nid in self.nodes:
+            hops.setdefault(nid, -1)
+        return hops
+
+
+def build_transport(kind: str, network: Network, **transport_kwargs) -> Transport:
+    """Construct the ``kind`` transport over ``network``'s topology.
+
+    Raises:
+        ValueError: unknown ``kind`` (valid names are in :data:`TRANSPORTS`).
+    """
+    if kind == "sim":
+        if transport_kwargs:
+            raise ValueError(
+                f"the sim transport takes no options, got {sorted(transport_kwargs)}"
+            )
+        return SimTransport(network)
+    if kind == "loopback":
+        return LoopbackTransport.for_network(network, **transport_kwargs)
+    if kind == "udp":
+        return UdpTransport.for_network(network, **transport_kwargs)
+    raise ValueError(f"unknown transport {kind!r}; choose one of {', '.join(TRANSPORTS)}")
+
+
+def deploy_live(
+    n: int,
+    density: float,
+    seed: int = 0,
+    transport: str = "loopback",
+    config: "ProtocolConfig | None" = None,
+    radio_config: RadioConfig | None = None,
+    **transport_kwargs,
+) -> "tuple[DeployedProtocol, SetupMetrics]":
+    """Deploy ``n`` live nodes on ``transport`` and run key setup on them.
+
+    The one-call live counterpart of :func:`repro.protocol.setup.deploy`:
+    builds the topology, brings up node runtimes on the requested backend,
+    runs the paper's cluster key setup over it and returns the operational
+    :class:`~repro.protocol.setup.DeployedProtocol` (whose ``network`` is
+    a :class:`LiveNetwork`) plus the usual setup metrics. Extra keyword
+    arguments go to the transport constructor (``pace`` for loopback;
+    ``base_port`` / ``host`` / ``time_scale`` for UDP).
+    """
+    from repro.protocol.setup import run_key_setup  # local import: avoid cycle
+
+    network = Network.build(n, density, seed=seed, radio_config=radio_config)
+    fabric = build_transport(transport, network, **transport_kwargs)
+    live = LiveNetwork(network, fabric)
+    return run_key_setup(live, config)

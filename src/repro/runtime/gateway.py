@@ -1,0 +1,79 @@
+"""Gateway service: the operator-facing face of the base station.
+
+Wraps the protocol's :class:`~repro.protocol.base_station.BaseStationAgent`
+(which does the cryptographic accept/reject work) and exposes what an
+operations console needs: the verified reading stream and a
+JSON-serializable status snapshot — clusters formed, delivery and
+rejection totals, per-counter trace totals, and whether the bounded event
+log was truncated. ``python -m repro run-live`` prints exactly this
+snapshot after a live run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.protocol.metrics import cluster_assignment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.base_station import BaseStationAgent, DeliveredReading
+    from repro.protocol.setup import DeployedProtocol
+
+
+class GatewayService:
+    """Status/metrics facade over a deployment's base station."""
+
+    def __init__(self, deployed: "DeployedProtocol") -> None:
+        self.deployed = deployed
+
+    @property
+    def bs(self) -> "BaseStationAgent":
+        """The underlying base-station agent."""
+        return self.deployed.bs_agent
+
+    def readings(self) -> "list[DeliveredReading]":
+        """All readings the base station has verified and accepted."""
+        return self.bs.delivered
+
+    def delivered_count(self) -> int:
+        """Number of accepted readings."""
+        return len(self.bs.delivered)
+
+    def status(self) -> dict:
+        """One JSON-serializable snapshot of the deployment's health."""
+        trace = self.deployed.network.trace
+        clusters = cluster_assignment(self.deployed)
+        delivered = self.bs.delivered
+        alive = sum(1 for a in self.deployed.agents.values() if a.node.alive)
+        transport = getattr(self.deployed.network, "transport", None)
+        snapshot = {
+            "transport": getattr(transport, "name", "sim"),
+            "clock_s": round(self.deployed.now(), 6),
+            "nodes": len(self.deployed.agents),
+            "nodes_alive": alive,
+            "clusters_formed": len(clusters),
+            "readings_delivered": len(delivered),
+            "distinct_sources": len({r.source for r in delivered}),
+            "readings_rejected": self.bs.rejected,
+            "revoked_clusters": sorted(self.bs.revoked_cids),
+            "suspicious_clusters": self.bs.suspicious_clusters(),
+            "trace": {
+                "counters": {k: trace.counters[k] for k in sorted(trace.counters)},
+                "events_logged": len(trace.events),
+                "events_dropped": trace.dropped,
+            },
+        }
+        if transport is not None:
+            snapshot["frames"] = {
+                "sent": transport.frames_sent,
+                "delivered": transport.frames_delivered,
+                "bytes_sent": transport.bytes_sent,
+            }
+        return snapshot
+
+    def to_json(self, indent: int | None = 2, **extra) -> str:
+        """The :meth:`status` snapshot as JSON, with optional extra keys."""
+        snapshot = self.status()
+        snapshot.update(extra)
+        return json.dumps(snapshot, indent=indent)

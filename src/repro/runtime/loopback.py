@@ -1,0 +1,151 @@
+"""In-process asyncio loopback transport.
+
+Runs every node in one process over an asyncio-driven event fabric with a
+*virtual* protocol clock: timers and frame deliveries are ``(time, seq)``
+ordered exactly like the discrete-event simulator's calendar queue, and
+deliveries are delayed by the same propagation + airtime model the
+simulated radio uses. With ``pace=0`` (the default) the loop executes
+events as fast as possible and a run is bit-deterministic — the property
+the sim/loopback parity tests pin. With ``pace > 0`` each event waits the
+scaled wall-clock delta first, turning the deployment into a live,
+watchable system without touching protocol code.
+
+What the loopback fabric deliberately does **not** model: energy, link
+loss, collisions and CSMA (it is an ideal-MAC transport). Deployments
+needing those stay on :class:`~repro.runtime.transport.SimTransport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.engine import EventHandle
+from repro.sim.radio import RadioConfig
+from repro.sim.trace import Trace
+from repro.runtime.transport import ReceiveEndpoint, Transport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+
+class LoopbackTransport(Transport):
+    """Deterministic in-process transport on a virtual asyncio clock."""
+
+    name = "loopback"
+
+    def __init__(
+        self,
+        neighbors: dict[int, list[int]],
+        radio_config: RadioConfig | None = None,
+        trace: Trace | None = None,
+        pace: float = 0.0,
+    ) -> None:
+        """``neighbors`` is the static broadcast map: sender id -> receiver
+        ids, standing in for unit-disk connectivity. ``pace`` is wall
+        seconds per protocol second (0 = run events back-to-back)."""
+        if pace < 0:
+            raise ValueError("pace must be >= 0")
+        super().__init__(trace=trace)
+        self._neighbors = {nid: list(nbrs) for nid, nbrs in neighbors.items()}
+        self.config = radio_config or RadioConfig()
+        self.pace = pace
+        self._nodes: dict[int, ReceiveEndpoint] = {}
+        self._queue: list[tuple[float, int, EventHandle, Callable[[], Any]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self.events_executed = 0
+
+    @classmethod
+    def for_network(cls, network: "Network", **kwargs) -> "LoopbackTransport":
+        """Loopback fabric over an existing deployment's adjacency map.
+
+        Copies the network's neighbor lists (in their canonical order, so
+        delivery scheduling order matches the simulated radio's) and its
+        physical-layer latency parameters.
+        """
+        neighbors = {nid: list(network.adjacency(nid)) for nid in network.nodes}
+        kwargs.setdefault("radio_config", network.radio.config)
+        return cls(neighbors, **kwargs)
+
+    # -- Transport interface -------------------------------------------------
+
+    def register(self, node: ReceiveEndpoint) -> None:
+        self._nodes[node.id] = node
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        handle = EventHandle(time)
+        heapq.heappush(self._queue, (time, self._seq, handle, callback))
+        self._seq += 1
+        return handle
+
+    def broadcast(self, sender_id: int, frame: bytes) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += len(frame) + self.config.header_bytes
+        # Same delivery latency as the simulated radio, so election races
+        # resolve identically and parity with SimTransport holds.
+        delay = self.config.propagation_delay_s + self.config.airtime(len(frame))
+        for receiver_id in self._neighbors.get(sender_id, ()):
+            receiver = self._nodes.get(receiver_id)
+            if receiver is None or not receiver.alive:
+                continue
+            self.schedule(delay, _Delivery(self, receiver_id, sender_id, frame))
+
+    def _deliver(self, receiver_id: int, sender_id: int, frame: bytes) -> None:
+        receiver = self._nodes.get(receiver_id)
+        if receiver is None or not receiver.alive:
+            return
+        self.frames_delivered += 1
+        receiver.receive(sender_id, frame)
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the fabric synchronously (wraps :meth:`run_async`)."""
+        return asyncio.run(self.run_async(until))
+
+    async def run_async(self, until: float | None = None) -> float:
+        """Execute pending events in (time, seq) order up to ``until``."""
+        while self._queue:
+            time, _seq, handle, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            if self.pace > 0.0 and time > self._now:
+                await asyncio.sleep((time - self._now) * self.pace)
+            self._now = time
+            self.events_executed += 1
+            callback()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for _, _, h, _ in self._queue if not h.cancelled)
+
+
+class _Delivery:
+    """Bound delivery event (mirrors the simulated radio's)."""
+
+    __slots__ = ("transport", "receiver_id", "sender_id", "frame")
+
+    def __init__(
+        self, transport: LoopbackTransport, receiver_id: int, sender_id: int, frame: bytes
+    ) -> None:
+        self.transport = transport
+        self.receiver_id = receiver_id
+        self.sender_id = sender_id
+        self.frame = frame
+
+    def __call__(self) -> None:
+        self.transport._deliver(self.receiver_id, self.sender_id, self.frame)

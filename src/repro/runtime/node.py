@@ -1,0 +1,86 @@
+"""The per-node runtime host.
+
+:class:`NodeRuntime` is the live counterpart of
+:class:`repro.sim.node.SensorNode`: it exposes the exact node surface a
+:class:`~repro.protocol.agent.ProtocolAgent` (or the base-station agent,
+or a joining-node agent) touches — ``id``, ``alive``, ``broadcast``,
+``schedule``, ``now``, ``trace``, ``die`` — and maps it onto a
+:class:`~repro.runtime.transport.Transport`. Hosting an agent is one
+assignment (``runtime.app = agent``); the agent cannot tell whether its
+frames travel through the simulated radio, an in-process loopback, or
+real UDP sockets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.transport import TimerHandle, Transport
+    from repro.sim.trace import Trace
+
+
+class NodeRuntime:
+    """One protocol node hosted on a live transport."""
+
+    def __init__(
+        self,
+        transport: "Transport",
+        node_id: int,
+        position: np.ndarray | None = None,
+    ) -> None:
+        self.transport = transport
+        self.id = node_id
+        self.position = position
+        self.alive = True
+        #: The hosted application (protocol agent, BS agent, joiner, ...).
+        self.app: Any = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        transport.register(self)
+
+    # -- the node surface agents program against ---------------------------
+
+    def broadcast(self, frame: bytes) -> None:
+        """Transmit one frame to all transport-level neighbors."""
+        if not self.alive:
+            return
+        self.frames_sent += 1
+        self.transport.broadcast(self.id, frame)
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> "TimerHandle":
+        """Arm a timer on the transport's clock."""
+        return self.transport.schedule(delay, callback)
+
+    def now(self) -> float:
+        """Current protocol time."""
+        return self.transport.now
+
+    @property
+    def trace(self) -> "Trace":
+        """The deployment-wide counter/event trace."""
+        return self.transport.trace
+
+    def die(self) -> None:
+        """Take the node offline (crash injection, battery death)."""
+        self.alive = False
+
+    # -- transport delivery entry point -------------------------------------
+
+    def receive(self, sender_id: int, frame: bytes) -> None:
+        """Deliver one frame up to the hosted application."""
+        if not self.alive:
+            return
+        self.frames_received += 1
+        if self.app is not None:
+            self.app.on_frame(sender_id, frame)
+
+    #: NodeApp-compatible alias: under :class:`SimTransport` the sim node's
+    #: ``app`` is this runtime, and sim delivery calls ``app.on_frame``.
+    on_frame = receive
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"NodeRuntime(id={self.id}, {state}, transport={self.transport.name})"

@@ -23,6 +23,7 @@ from repro.sim.energy import EnergyMeter
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import EventHandle
     from repro.sim.network import Network
+    from repro.sim.trace import Trace
 
 
 class NodeApp(Protocol):
@@ -73,6 +74,21 @@ class SensorNode:
     def schedule(self, delay: float, callback: Callable[[], None]) -> "EventHandle":
         """Schedule a timer on the shared simulator clock."""
         return self.network.sim.schedule(delay, callback)
+
+    def now(self) -> float:
+        """Current protocol time in seconds.
+
+        Together with :meth:`schedule`, :meth:`broadcast` and :attr:`trace`
+        this is the whole environment surface a protocol agent may touch —
+        :class:`repro.runtime.node.NodeRuntime` provides the same surface
+        over live transports, so agents never reach into the simulator.
+        """
+        return self.network.sim.now
+
+    @property
+    def trace(self) -> "Trace":
+        """The shared counter/event trace."""
+        return self.network.trace
 
     def die(self) -> None:
         """Remove the node from the network (battery death or destruction)."""

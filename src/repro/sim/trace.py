@@ -18,15 +18,32 @@ class Trace:
     counters: Counter = field(default_factory=Counter)
     log_limit: int = 0
     events: list[tuple[float, str, dict]] = field(default_factory=list)
+    #: Events that arrived after the log filled up. Experiments check this
+    #: to detect a truncated log instead of silently analyzing a prefix.
+    dropped: int = 0
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name``."""
         self.counters[name] += amount
 
     def record(self, time: float, kind: str, **details) -> None:
-        """Append to the event log if logging is enabled (log_limit > 0)."""
-        if self.log_limit and len(self.events) < self.log_limit:
+        """Append to the event log if logging is enabled (log_limit > 0).
+
+        Once ``log_limit`` events are stored, further events are counted
+        in :attr:`dropped` rather than appended (with logging disabled
+        entirely, nothing is stored or counted).
+        """
+        if not self.log_limit:
+            return
+        if len(self.events) < self.log_limit:
             self.events.append((time, kind, details))
+        else:
+            self.dropped += 1
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event was discarded for space."""
+        return self.dropped > 0
 
     def __getitem__(self, name: str) -> int:
         return self.counters[name]

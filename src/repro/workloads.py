@@ -46,14 +46,13 @@ class _WorkloadBase:
         self.send_failures = 0
 
     def _send(self, source: int, event_id: int, payload: bytes) -> None:
-        sim = self.deployed.network.sim
         try:
             self.deployed.agents[source].send_reading(payload)
         except ProtocolError:
             # Orphaned/evicted sources are a legitimate runtime condition.
             self.send_failures += 1
             return
-        self.sent.append(SentRecord(sim.now, source, event_id, payload))
+        self.sent.append(SentRecord(self.deployed.now(), source, event_id, payload))
 
     # -- result helpers -----------------------------------------------------
 
@@ -106,12 +105,11 @@ class PeriodicReporting(_WorkloadBase):
         self._rng = rng or np.random.default_rng(0)
 
     def start(self) -> None:
-        """Schedule every report on the simulator clock."""
-        sim = self.deployed.network.sim
+        """Schedule every report on the deployment's clock."""
         for source in self.sources:
             offset = float(self._rng.uniform(0.0, self.period_s))
             for k in range(self.rounds):
-                sim.schedule(
+                self.deployed.schedule(
                     offset + k * self.period_s,
                     lambda s=source, kk=k: self._send(s, kk, self._payload_fn(s, kk)),
                 )
@@ -146,7 +144,6 @@ class PoissonEvents(_WorkloadBase):
 
     def start(self) -> None:
         """Draw the event process and schedule every report."""
-        sim = self.deployed.network.sim
         deployment = self.deployed.network.deployment
         routable = [
             nid
@@ -171,7 +168,7 @@ class PoissonEvents(_WorkloadBase):
             for idx in nearest:
                 source = routable[int(idx)]
                 payload = encode_reading(event_id, float(d[int(idx)]), source)
-                sim.schedule(
+                self.deployed.schedule(
                     t, lambda s=source, e=event_id, p=payload: self._send(s, e, p)
                 )
             event_id += 1

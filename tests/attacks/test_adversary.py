@@ -1,9 +1,6 @@
 """Node capture and the timing model."""
 
-import pytest
-
 from repro.attacks import Adversary, CaptureTimingModel
-from repro.crypto.keys import KeyErasedError
 from repro.protocol.config import ProtocolConfig
 from tests.conftest import small_deployment
 

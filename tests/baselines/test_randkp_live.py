@@ -138,7 +138,6 @@ class TestQComposite:
     def test_q_validation(self):
         import pytest
         from repro.crypto.aead import AeadConfig
-        from repro.randkp.agent import RandKpAgent
 
         with pytest.raises(ValueError):
             run_randkp_bootstrap(10, 5.0, q=0)

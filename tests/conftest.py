@@ -32,6 +32,5 @@ def deployed_plaintext() -> DeployedProtocol:
 
 
 def run_for(deployed: DeployedProtocol, seconds: float) -> None:
-    """Advance the deployment's simulator clock."""
-    sim = deployed.network.sim
-    sim.run(until=sim.now + seconds)
+    """Advance the deployment's clock (simulated or transport-backed)."""
+    deployed.run_for(seconds)

@@ -11,10 +11,8 @@ from repro.experiments import (
     ablations,
     broadcast_cost,
     fig1_cluster_distribution,
-    fig6_keys_per_node,
     fig7_cluster_size,
     fig8_clusterhead_fraction,
-    fig9_setup_messages,
     leap_weakness,
     resilience,
     scale_invariance,

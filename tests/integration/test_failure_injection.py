@@ -1,9 +1,6 @@
 """Failure injection: lossy radio, collisions, node death, desync."""
 
-import pytest
-
 from repro.protocol.config import ProtocolConfig
-from repro.protocol.metrics import validate_clusters
 from repro.protocol.setup import run_key_setup
 from repro.sim.network import Network
 from repro.sim.radio import RadioConfig

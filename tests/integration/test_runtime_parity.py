@@ -1,0 +1,75 @@
+"""Runtime/simulator parity: the transport must not change the protocol.
+
+The live runtime's whole claim is that agents are unmodified — so for the
+same topology and seed, key setup must produce the same cluster structure
+no matter which backend carries the frames. Three levels of strictness:
+
+* ``SimTransport`` is the simulator wrapped in the Transport interface;
+  it must be *bit-identical* to the plain seed path (clusters, per-node
+  key counts and every trace counter);
+* ``LoopbackTransport`` re-implements the calendar queue and the radio's
+  latency model, so election races resolve identically: clusters and key
+  counts must match the simulator exactly;
+* ``UdpTransport`` runs on real sockets in scaled wall time and is
+  inherently racy — it only has to form a valid clustering (smoke test).
+"""
+
+from repro.protocol.metrics import validate_clusters
+from repro.protocol.setup import deploy
+from repro.runtime import build_transport, deploy_live
+
+N, DENSITY, SEED = 80, 10.0, 7
+
+
+def keys_by_node(deployed) -> dict[int, int]:
+    return {nid: a.state.stored_key_count() for nid, a in deployed.agents.items()}
+
+
+def test_sim_transport_bit_identical_to_seed_simulator():
+    seed_deployed, seed_metrics = deploy(N, DENSITY, seed=SEED)
+    live_deployed, live_metrics = deploy_live(N, DENSITY, seed=SEED, transport="sim")
+    assert live_metrics.clusters == seed_metrics.clusters
+    assert keys_by_node(live_deployed) == keys_by_node(seed_deployed)
+    assert dict(live_deployed.network.trace.counters) == dict(
+        seed_deployed.network.trace.counters
+    )
+
+
+def test_loopback_reproduces_sim_cluster_structure():
+    sim_deployed, sim_metrics = deploy_live(N, DENSITY, seed=SEED, transport="sim")
+    lb_deployed, lb_metrics = deploy_live(N, DENSITY, seed=SEED, transport="loopback")
+    assert lb_metrics.clusters == sim_metrics.clusters
+    assert keys_by_node(lb_deployed) == keys_by_node(sim_deployed)
+    # Same frames on the air too: the latency model is shared, so the
+    # election/link phases replay message-for-message.
+    assert lb_deployed.network.trace["tx.hello"] == sim_deployed.network.trace["tx.hello"]
+    assert (
+        lb_deployed.network.trace["tx.linkinfo"]
+        == sim_deployed.network.trace["tx.linkinfo"]
+    )
+
+
+def test_loopback_is_deterministic_across_runs():
+    a_deployed, a_metrics = deploy_live(N, DENSITY, seed=SEED, transport="loopback")
+    b_deployed, b_metrics = deploy_live(N, DENSITY, seed=SEED, transport="loopback")
+    assert a_metrics.clusters == b_metrics.clusters
+    assert dict(a_deployed.network.trace.counters) == dict(
+        b_deployed.network.trace.counters
+    )
+
+
+def test_udp_forms_valid_clusters():
+    deployed, metrics = deploy_live(25, 8.0, seed=3, transport="udp")
+    assert metrics.cluster_count > 0
+    assert validate_clusters(deployed) == []
+    assert all(a.state.cid is not None for a in deployed.agents.values())
+
+
+def test_unknown_transport_is_rejected_with_the_valid_names():
+    import pytest
+
+    from repro.sim.network import Network
+
+    network = Network.build(10, 6.0, seed=0)
+    with pytest.raises(ValueError, match="loopback"):
+        build_transport("tcp", network)

@@ -1,6 +1,5 @@
 """Base-station behaviour: counter recovery, replay, key derivation."""
 
-from repro.crypto.kdf import derive_cluster_key
 from tests.conftest import run_for, small_deployment
 
 

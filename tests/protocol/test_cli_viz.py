@@ -67,3 +67,33 @@ def test_cli_experiment_selection(capsys):
 
 def test_cli_unknown_experiment():
     assert main(["experiments", "--which", "nope", "--n", "50"]) == 2
+
+
+def _subcommands() -> list[str]:
+    return sorted(build_parser()._subparsers._group_actions[0].choices)
+
+
+@pytest.mark.parametrize("command", _subcommands())
+def test_every_subcommand_help_exits_zero(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--help"])
+    assert excinfo.value.code == 0
+    assert "usage:" in capsys.readouterr().out
+
+
+def test_cli_run_live_loopback(capsys):
+    assert main(["run-live", "--n", "40", "--transport", "loopback", "--rounds", "1"]) == 0
+    out = capsys.readouterr().out
+    import json
+
+    snapshot = json.loads(out)
+    assert snapshot["transport"] == "loopback"
+    assert snapshot["workload"]["delivery_ratio"] >= 0.95
+    assert snapshot["clusters_formed"] > 0
+
+
+def test_cli_run_live_rejects_unknown_transport(capsys):
+    assert main(["run-live", "--n", "10", "--transport", "telepathy"]) == 2
+    out = capsys.readouterr().out
+    assert "telepathy" in out
+    assert "loopback" in out and "udp" in out

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.crypto.aead import AuthenticationError
 from repro.protocol.agent import ProtocolError
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.setup import deploy, provision

@@ -7,7 +7,6 @@ near-misses) through the full dispatch path of agents, the base station
 and a joining node.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.protocol import messages

@@ -2,7 +2,6 @@
 
 from repro.protocol.metrics import SetupMetrics
 from repro.protocol.setup import deploy
-from repro.util.stats import Histogram
 
 
 def make_metrics(clusters, n=None, keys=None, hello=None, link=None):

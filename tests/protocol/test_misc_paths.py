@@ -1,7 +1,6 @@
 """Coverage of less-traveled paths: battery death, BS key installation,
 API recluster strategy, empty workloads."""
 
-import numpy as np
 import pytest
 
 from repro import ProtocolConfig, SecureSensorNetwork

@@ -1,8 +1,6 @@
 """Unconstrained re-clustering refresh (the paper's first proposal)."""
 
 import numpy as np
-import pytest
-
 from repro.attacks import Adversary, HelloFloodAttacker
 from repro.protocol import messages
 from repro.protocol.config import ProtocolConfig

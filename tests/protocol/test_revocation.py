@@ -1,7 +1,5 @@
 """Eviction of compromised nodes (Sec. IV-D)."""
 
-import pytest
-
 from repro.crypto.mac import mac
 from repro.protocol import messages
 from repro.protocol.setup import deploy
@@ -91,8 +89,6 @@ def test_sequential_revocations_advance_chain():
 def test_lost_revocation_does_not_block_later_ones():
     # Issue one revocation while the radio is fully lossy, then a second
     # with the radio healthy: the second must verify despite the gap.
-    from repro.protocol.config import ProtocolConfig
-    from repro.sim.radio import RadioConfig
     from repro.sim.network import Network
     from repro.protocol.setup import run_key_setup
 

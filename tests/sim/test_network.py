@@ -1,7 +1,6 @@
 """Network facade: ids, adjacency, base station, dynamic membership."""
 
 import numpy as np
-import pytest
 
 from repro.sim.network import BS_ID, FIRST_NODE_ID, Network
 from repro.sim.topology import Deployment

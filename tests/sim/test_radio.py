@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.sim.network import BS_ID, Network
+from repro.sim.network import Network
 from repro.sim.radio import RadioConfig
 from repro.sim.topology import Deployment
 

@@ -23,3 +23,19 @@ def test_log_bounded():
         trace.record(float(i), "evt", i=i)
     assert len(trace.events) == 2
     assert trace.events[0] == (0.0, "evt", {"i": 0})
+
+
+def test_overflow_is_counted_not_silent():
+    trace = Trace(log_limit=2)
+    assert not trace.truncated
+    for i in range(5):
+        trace.record(float(i), "evt", i=i)
+    assert trace.dropped == 3
+    assert trace.truncated
+
+
+def test_disabled_log_counts_nothing_as_dropped():
+    trace = Trace()  # log_limit=0: logging off, not a full log
+    trace.record(1.0, "evt")
+    assert trace.dropped == 0
+    assert not trace.truncated
