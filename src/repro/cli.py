@@ -10,9 +10,14 @@ Commands:
 * ``inspect`` — deploy and print a cluster map + setup metrics;
 * ``run-live`` — bring up a live deployment on a real transport
   (in-process loopback or UDP sockets), push a reporting workload and
-  print the gateway's JSON status snapshot.
+  print the gateway's JSON status snapshot; ``--metrics-out m.jsonl``
+  additionally streams telemetry (events + periodic samples + a final
+  summary) as JSON Lines;
+* ``metrics`` — work with exported telemetry streams
+  (``metrics summarize m.jsonl`` folds one back into the shape
+  ``SetupMetrics`` reports, see docs/TELEMETRY.md).
 
-All commands accept ``--n``, ``--density`` and ``--seed``.
+All deployment commands accept ``--n``, ``--density`` and ``--seed``.
 """
 
 from __future__ import annotations
@@ -162,6 +167,7 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
         ("--settle", args.settle, args.settle >= 0),
         ("--time-scale", args.time_scale, args.time_scale > 0),
         ("--pace", args.pace, args.pace >= 0),
+        ("--sample-period", args.sample_period, args.sample_period > 0),
     ):
         if not ok:
             print(f"invalid {name} {value}: must be positive")
@@ -179,6 +185,7 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
             density=args.density,
             seed=args.seed,
             transport=args.transport,
+            event_log_limit=4096 if args.metrics_out else 0,
             **transport_kwargs,
         )
     except OSError as exc:
@@ -186,12 +193,37 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
         print(f"could not bring up the {args.transport} transport: {exc}")
         print("hint: pick a different --base-port")
         return 1
+
+    telemetry = deployed.network.trace.telemetry
+    writer = sampler = None
+    if args.metrics_out:
+        from repro.telemetry import JsonlWriter, PeriodicSampler
+
+        writer = JsonlWriter(args.metrics_out)
+        # Replays the buffered setup-phase events, then streams live ones.
+        writer.subscribe_to(telemetry.events)
+        sampler = PeriodicSampler(
+            deployed, telemetry.registry, writer, args.sample_period
+        )
+        sampler.start()
+
     sources = [nid for nid, a in deployed.agents.items() if a.state.hops_to_bs > 0]
     workload = PeriodicReporting(
         deployed, sources, period_s=args.period, rounds=args.rounds
     )
     workload.start()
     deployed.run_for(workload.duration_s + args.settle)
+
+    if writer is not None and sampler is not None:
+        sampler.stop()
+        writer.write_summary(
+            deployed.now(),
+            telemetry.registry,
+            transport=args.transport,
+            nodes=len(deployed.agents),
+            events_dropped=telemetry.events.dropped,
+        )
+        writer.close()
 
     gateway = GatewayService(deployed)
     latencies = workload.latencies()
@@ -213,6 +245,41 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
             },
         )
     )
+    return 0
+
+
+def _cmd_metrics_summarize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import read_records, render_summary, summarize_records
+
+    try:
+        records = read_records(args.path)
+        summary = summarize_records(records)
+    except (OSError, ValueError) as exc:
+        print(f"could not summarize {args.path}: {exc}")
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "transport": summary.transport,
+                    "n": summary.n,
+                    "clock_s": summary.clock_s,
+                    "hello_messages": summary.hello_messages,
+                    "linkinfo_messages": summary.linkinfo_messages,
+                    "messages_per_node": summary.messages_per_node,
+                    "clusters": summary.clusters,
+                    "mean_keys_per_node": summary.mean_keys_per_node,
+                    "readings_delivered": summary.readings_delivered,
+                    "events_logged": summary.events_logged,
+                    "counters": summary.counters,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(render_summary(summary))
     return 0
 
 
@@ -288,7 +355,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="loopback only: wall seconds per protocol second (0 = fast)",
     )
+    run_live.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="stream telemetry (events, samples, summary) to PATH as JSONL",
+    )
+    run_live.add_argument(
+        "--sample-period",
+        type=float,
+        default=5.0,
+        help="protocol seconds between metric samples (with --metrics-out)",
+    )
     run_live.set_defaults(func=_cmd_run_live)
+
+    metrics = sub.add_parser("metrics", help="work with exported telemetry streams")
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    summarize = metrics_sub.add_parser(
+        "summarize",
+        help="fold a metrics JSONL stream into the shape SetupMetrics reports",
+    )
+    summarize.add_argument("path", help="metrics JSONL file (from --metrics-out)")
+    summarize.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    summarize.set_defaults(func=_cmd_metrics_summarize)
     return parser
 
 

@@ -61,7 +61,7 @@ class ProtocolAgent:
         self.state = NodeState(node_id=node.id, preload=preload)
         self._rng = timer_rng
         self._trace = node.trace
-        self._dedup = DedupCache(config.dedup_cache_size)
+        self._dedup = DedupCache(config.dedup_cache_size, trace=self._trace)
         self._hello_timer = None
         self.operational = False
         #: Optional in-network data-fusion hook (Sec. II, "intermediate

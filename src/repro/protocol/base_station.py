@@ -80,7 +80,7 @@ class BaseStationAgent:
         self.config = config
         self.registry = registry
         self._trace = node.trace
-        self._dedup = DedupCache(config.dedup_cache_size)
+        self._dedup = DedupCache(config.dedup_cache_size, trace=self._trace)
         #: Cached current cluster keys, kept in step with refreshes.
         self._cluster_keys: dict[int, bytes] = {}
         #: Whether unknown cids may still be derived from K_MC (turned off

@@ -304,11 +304,15 @@ class DedupCache:
     because ``c1`` is invariant along the path.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, trace=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._seen: OrderedDict[bytes, None] = OrderedDict()
+        #: Optional telemetry sink: when set, cache hits and capacity
+        #: evictions are counted as ``forward.dedup_hit`` /
+        #: ``forward.dedup_evict`` (see docs/TELEMETRY.md).
+        self._trace = trace
 
     @staticmethod
     def fingerprint(c1: bytes) -> bytes:
@@ -320,10 +324,14 @@ class DedupCache:
         fp = self.fingerprint(c1)
         if fp in self._seen:
             self._seen.move_to_end(fp)
+            if self._trace is not None:
+                self._trace.count("forward.dedup_hit")
             return True
         self._seen[fp] = None
         if len(self._seen) > self.capacity:
             self._seen.popitem(last=False)
+            if self._trace is not None:
+                self._trace.count("forward.dedup_evict")
         return False
 
     def __len__(self) -> int:

@@ -89,6 +89,29 @@ class SetupMetrics:
         """Fig. 1: fraction of clusters at each size."""
         return self.cluster_size_hist.fractions()
 
+    def publish(self, telemetry) -> None:
+        """Publish these measurements into a telemetry registry.
+
+        Writes the ``setup.*`` gauges and the ``setup.cluster_size``
+        histogram documented in ``docs/TELEMETRY.md``, so live runs can
+        export figure-equivalent numbers over JSONL. Idempotent per run:
+        gauges overwrite and the histogram is replaced, not accumulated.
+        """
+        registry = telemetry.registry
+        registry.gauge("setup.nodes", self.n)
+        registry.gauge("setup.measured_density", self.measured_density)
+        registry.gauge("setup.clusters", self.cluster_count)
+        registry.gauge("setup.mean_cluster_size", self.mean_cluster_size)
+        registry.gauge("setup.head_fraction", self.head_fraction)
+        registry.gauge("setup.mean_keys_per_node", self.mean_keys_per_node)
+        registry.gauge("setup.max_keys_per_node", self.max_keys_per_node)
+        registry.gauge("setup.messages_per_node", self.messages_per_node)
+        registry.gauge("setup.singleton_fraction", self.singleton_fraction)
+        registry.histograms["setup.cluster_size"] = histogram(
+            len(m) for m in self.clusters.values()
+        )
+        registry.histograms["setup.keys_per_node"] = histogram(self.keys_per_node)
+
 
 def cluster_assignment(deployed: "DeployedProtocol") -> dict[int, list[int]]:
     """Map cluster id -> sorted member node ids, from live agent state."""
@@ -101,9 +124,14 @@ def cluster_assignment(deployed: "DeployedProtocol") -> dict[int, list[int]]:
 
 
 def compute_setup_metrics(deployed: "DeployedProtocol") -> SetupMetrics:
-    """Collect :class:`SetupMetrics` after :func:`run_key_setup`."""
+    """Collect :class:`SetupMetrics` after :func:`run_key_setup`.
+
+    Also publishes the measurements into the deployment's telemetry
+    registry (``setup.*`` gauges/histograms), keeping the post-hoc and
+    streamed views of a run consistent by construction.
+    """
     trace = deployed.network.trace
-    return SetupMetrics(
+    metrics = SetupMetrics(
         n=len(deployed.agents),
         measured_density=deployed.network.deployment.mean_degree,
         clusters=cluster_assignment(deployed),
@@ -111,6 +139,8 @@ def compute_setup_metrics(deployed: "DeployedProtocol") -> SetupMetrics:
         hello_messages=trace["tx.hello"],
         linkinfo_messages=trace["tx.linkinfo"],
     )
+    metrics.publish(trace.telemetry)
+    return metrics
 
 
 def validate_clusters(deployed: "DeployedProtocol") -> list[str]:

@@ -45,6 +45,15 @@ class RefreshCoordinator:
             self._recluster()
         else:
             self._reelect()
+        trace = self.deployed.network.trace
+        trace.count("refresh.round")
+        trace.telemetry.emit(
+            self.deployed.now(),
+            "refresh.round",
+            phase="refresh",
+            epoch=self.epoch,
+            strategy=strategy,
+        )
         return self.epoch
 
     def run_round(self, settle_s: float = 1.0) -> int:

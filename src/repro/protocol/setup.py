@@ -130,11 +130,23 @@ def run_key_setup(
     plane is live.
     """
     deployed = provision(network, config)
+    telemetry = network.trace.telemetry
+    telemetry.emit(
+        deployed.now(), "setup.begin", phase="setup", nodes=len(deployed.agents)
+    )
     for agent in deployed.agents.values():
         agent.start_setup()
     deployed.run_until(deployed.config.setup_end_s)
     deployed.assign_gradient()
     metrics = compute_setup_metrics(deployed)
+    telemetry.emit(
+        deployed.now(),
+        "setup.end",
+        phase="setup",
+        clusters=metrics.cluster_count,
+        hello_messages=metrics.hello_messages,
+        linkinfo_messages=metrics.linkinfo_messages,
+    )
     return deployed, metrics
 
 

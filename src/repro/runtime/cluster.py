@@ -33,6 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.protocol.metrics import SetupMetrics
     from repro.protocol.setup import DeployedProtocol
 
+__all__ = ["TRANSPORTS", "LiveNetwork", "build_transport", "deploy_live"]
+
 #: Transport backends selectable by name (CLI ``--transport`` values).
 TRANSPORTS = ("loopback", "udp", "sim")
 
@@ -100,6 +102,10 @@ class LiveNetwork:
 def build_transport(kind: str, network: Network, **transport_kwargs) -> Transport:
     """Construct the ``kind`` transport over ``network``'s topology.
 
+    Every backend shares ``network``'s trace/telemetry store (pass an
+    explicit ``trace=`` to override for loopback/udp), so counters and
+    events land in one registry regardless of the fabric.
+
     Raises:
         ValueError: unknown ``kind`` (valid names are in :data:`TRANSPORTS`).
     """
@@ -110,8 +116,10 @@ def build_transport(kind: str, network: Network, **transport_kwargs) -> Transpor
             )
         return SimTransport(network)
     if kind == "loopback":
+        transport_kwargs.setdefault("trace", network.trace)
         return LoopbackTransport.for_network(network, **transport_kwargs)
     if kind == "udp":
+        transport_kwargs.setdefault("trace", network.trace)
         return UdpTransport.for_network(network, **transport_kwargs)
     raise ValueError(f"unknown transport {kind!r}; choose one of {', '.join(TRANSPORTS)}")
 
@@ -123,6 +131,7 @@ def deploy_live(
     transport: str = "loopback",
     config: "ProtocolConfig | None" = None,
     radio_config: RadioConfig | None = None,
+    event_log_limit: int = 0,
     **transport_kwargs,
 ) -> "tuple[DeployedProtocol, SetupMetrics]":
     """Deploy ``n`` live nodes on ``transport`` and run key setup on them.
@@ -134,10 +143,19 @@ def deploy_live(
     a :class:`LiveNetwork`) plus the usual setup metrics. Extra keyword
     arguments go to the transport constructor (``pace`` for loopback;
     ``base_port`` / ``host`` / ``time_scale`` for UDP).
+
+    ``event_log_limit`` > 0 enables the telemetry event buffer *before*
+    key setup runs, so a JSONL exporter attached afterwards (``run-live
+    --metrics-out``) still replays the setup-phase events.
     """
     from repro.protocol.setup import run_key_setup  # local import: avoid cycle
+    from repro.sim.trace import Trace
 
     network = Network.build(n, density, seed=seed, radio_config=radio_config)
+    if event_log_limit:
+        # Fresh store with buffering on; nothing has counted into the
+        # build-time trace yet, so swapping it is observationally clean.
+        network.trace = Trace(log_limit=event_log_limit)
     fabric = build_transport(transport, network, **transport_kwargs)
     live = LiveNetwork(network, fabric)
     return run_key_setup(live, config)

@@ -4,9 +4,11 @@ Wraps the protocol's :class:`~repro.protocol.base_station.BaseStationAgent`
 (which does the cryptographic accept/reject work) and exposes what an
 operations console needs: the verified reading stream and a
 JSON-serializable status snapshot — clusters formed, delivery and
-rejection totals, per-counter trace totals, and whether the bounded event
-log was truncated. ``python -m repro run-live`` prints exactly this
-snapshot after a live run.
+rejection totals, and the deployment's full telemetry snapshot (every
+counter, gauge and histogram, plus event-buffer accounting). ``python -m
+repro run-live`` prints exactly this snapshot after a live run; see
+``docs/RUNTIME.md`` for the operator surface and ``docs/TELEMETRY.md``
+for the metric contract.
 """
 
 from __future__ import annotations
@@ -19,6 +21,8 @@ from repro.protocol.metrics import cluster_assignment
 if TYPE_CHECKING:  # pragma: no cover
     from repro.protocol.base_station import BaseStationAgent, DeliveredReading
     from repro.protocol.setup import DeployedProtocol
+
+__all__ = ["GatewayService"]
 
 
 class GatewayService:
@@ -40,9 +44,20 @@ class GatewayService:
         """Number of accepted readings."""
         return len(self.bs.delivered)
 
+    @property
+    def telemetry(self):
+        """The deployment's :class:`~repro.telemetry.Telemetry`."""
+        return self.deployed.network.trace.telemetry
+
     def status(self) -> dict:
-        """One JSON-serializable snapshot of the deployment's health."""
-        trace = self.deployed.network.trace
+        """One JSON-serializable snapshot of the deployment's health.
+
+        The ``telemetry`` section is exactly
+        :meth:`repro.telemetry.Telemetry.snapshot` — counters, gauges,
+        histograms and event-buffer accounting — the same structure JSONL
+        ``sample`` records embed, so console and stream consumers read
+        one schema (docs/TELEMETRY.md).
+        """
         clusters = cluster_assignment(self.deployed)
         delivered = self.bs.delivered
         alive = sum(1 for a in self.deployed.agents.values() if a.node.alive)
@@ -58,11 +73,7 @@ class GatewayService:
             "readings_rejected": self.bs.rejected,
             "revoked_clusters": sorted(self.bs.revoked_cids),
             "suspicious_clusters": self.bs.suspicious_clusters(),
-            "trace": {
-                "counters": {k: trace.counters[k] for k in sorted(trace.counters)},
-                "events_logged": len(trace.events),
-                "events_dropped": trace.dropped,
-            },
+            "telemetry": self.telemetry.snapshot(),
         }
         if transport is not None:
             snapshot["frames"] = {

@@ -29,6 +29,8 @@ from repro.runtime.transport import ReceiveEndpoint, Transport
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
 
+__all__ = ["LoopbackTransport"]
+
 
 class LoopbackTransport(Transport):
     """Deterministic in-process transport on a virtual asyncio clock."""
@@ -72,13 +74,16 @@ class LoopbackTransport(Transport):
     # -- Transport interface -------------------------------------------------
 
     def register(self, node: ReceiveEndpoint) -> None:
+        """Attach ``node`` as the receive endpoint for its id."""
         self._nodes[node.id] = node
 
     @property
     def now(self) -> float:
+        """The virtual protocol clock (advanced by executed events)."""
         return self._now
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        """Arm ``callback`` on the ``(time, seq)``-ordered virtual queue."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         time = self._now + delay
@@ -88,8 +93,12 @@ class LoopbackTransport(Transport):
         return handle
 
     def broadcast(self, sender_id: int, frame: bytes) -> None:
+        """Schedule delivery of ``frame`` to the sender's static neighbors."""
+        nbytes = len(frame) + self.config.header_bytes
         self.frames_sent += 1
-        self.bytes_sent += len(frame) + self.config.header_bytes
+        self.bytes_sent += nbytes
+        self.trace.count("net.frames_sent")
+        self.trace.count("net.bytes_sent", nbytes)
         # Same delivery latency as the simulated radio, so election races
         # resolve identically and parity with SimTransport holds.
         delay = self.config.propagation_delay_s + self.config.airtime(len(frame))
@@ -104,6 +113,7 @@ class LoopbackTransport(Transport):
         if receiver is None or not receiver.alive:
             return
         self.frames_delivered += 1
+        self.trace.count("net.frames_delivered")
         receiver.receive(sender_id, frame)
 
     def run(self, until: float | None = None) -> float:

@@ -21,6 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.transport import TimerHandle, Transport
     from repro.sim.trace import Trace
 
+__all__ = ["NodeRuntime"]
+
 
 class NodeRuntime:
     """One protocol node hosted on a live transport."""

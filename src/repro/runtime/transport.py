@@ -30,6 +30,9 @@ from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
+    from repro.telemetry import Telemetry
+
+__all__ = ["TimerHandle", "ReceiveEndpoint", "Transport", "SimTransport"]
 
 
 @runtime_checkable
@@ -37,6 +40,7 @@ class TimerHandle(Protocol):
     """Cancellable reference to a scheduled timer."""
 
     def cancel(self) -> None:  # pragma: no cover - protocol stub
+        """Disarm the timer; the callback will not fire."""
         ...
 
 
@@ -48,6 +52,7 @@ class ReceiveEndpoint(Protocol):
     alive: bool
 
     def receive(self, sender_id: int, frame: bytes) -> None:  # pragma: no cover
+        """Deliver one frame (``sender_id`` is the untrusted link source)."""
         ...
 
 
@@ -58,10 +63,17 @@ class Transport(ABC):
     name: str = "abstract"
 
     def __init__(self, trace: Trace | None = None) -> None:
+        """``trace`` shares an existing counter/event store (e.g. the
+        network's); omitted, the transport owns a fresh one."""
         self.trace = trace if trace is not None else Trace()
         self.frames_sent = 0
         self.frames_delivered = 0
         self.bytes_sent = 0
+
+    @property
+    def telemetry(self) -> "Telemetry":
+        """The deployment's metrics registry + event stream."""
+        return self.trace.telemetry
 
     # -- node attachment ---------------------------------------------------
 
@@ -115,21 +127,29 @@ class SimTransport(Transport):
         self._network = network
 
     def register(self, node: ReceiveEndpoint) -> None:
-        # The sim node stays the radio endpoint (keeping energy accounting
-        # and alive checks); received frames chain through to the runtime.
+        """Patch ``node`` in as the sim node's application.
+
+        The sim node stays the radio endpoint (keeping energy accounting
+        and alive checks); received frames chain through to the runtime.
+        """
         self._network.node(node.id).app = node
 
     @property
     def now(self) -> float:
+        """The discrete-event engine's clock."""
         return self._network.sim.now
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> TimerHandle:
+        """Arm a timer on the engine's calendar queue."""
         return self._network.sim.schedule(delay, callback)
 
     def broadcast(self, sender_id: int, frame: bytes) -> None:
+        """Transmit via the simulated unit-disk radio (which does the
+        ``net.*`` telemetry accounting, shared with the plain sim path)."""
         self.frames_sent += 1
         self.bytes_sent += len(frame) + self._network.radio.config.header_bytes
         self._network.node(sender_id).broadcast(frame)
 
     def run(self, until: float | None = None) -> float:
+        """Execute queued simulator events (to ``until`` if given)."""
         return self._network.sim.run(until=until)

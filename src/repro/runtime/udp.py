@@ -33,6 +33,8 @@ from repro.runtime.transport import ReceiveEndpoint, Transport
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
 
+__all__ = ["UdpTimer", "UdpTransport"]
+
 #: Bytes prepended to each datagram: the (unauthenticated) sender id.
 _SENDER_HEADER_LEN = 4
 
@@ -50,6 +52,7 @@ class UdpTimer:
         self._handle: asyncio.TimerHandle | None = None
 
     def cancel(self) -> None:
+        """Disarm the timer (idempotent)."""
         self.cancelled = True
         if self._handle is not None:
             self._handle.cancel()
@@ -106,17 +109,20 @@ class UdpTransport(Transport):
     # -- Transport interface -------------------------------------------------
 
     def register(self, node: ReceiveEndpoint) -> None:
+        """Attach ``node``; its socket binds on the next :meth:`run`."""
         if self._endpoints is not None:
             raise RuntimeError("cannot register nodes while the loop is running")
         self._nodes[node.id] = node
 
     @property
     def now(self) -> float:
+        """Protocol time: scaled wall clock while running, frozen between runs."""
         if self._loop is not None:
             return self._proto0 + (self._loop.time() - self._wall0) * self.time_scale
         return self._now
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> UdpTimer:
+        """Arm ``callback`` on the scaled real-time clock."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         timer = UdpTimer(self.now + delay, callback)
@@ -126,6 +132,7 @@ class UdpTransport(Transport):
         return timer
 
     def broadcast(self, sender_id: int, frame: bytes) -> None:
+        """One ``sendto`` per static neighbor, sender id prefixed in clear."""
         if self._endpoints is None:
             # Called between runs (e.g. a BS revocation queued from the
             # orchestrator): send on the next run's first tick instead.
@@ -138,6 +145,8 @@ class UdpTransport(Transport):
             return
         self.frames_sent += 1
         self.bytes_sent += len(datagram)
+        self.trace.count("net.frames_sent")
+        self.trace.count("net.bytes_sent", len(datagram))
         for receiver_id in self._neighbors.get(sender_id, ()):
             if receiver_id not in self._nodes:
                 continue
@@ -155,6 +164,7 @@ class UdpTransport(Transport):
         return asyncio.run(self.run_async(until))
 
     async def run_async(self, until: float) -> float:
+        """Async body of :meth:`run`: bind sockets, pump, drain, close."""
         loop = asyncio.get_running_loop()
         self._loop = loop
         self._wall0 = loop.time()
@@ -241,6 +251,7 @@ class _NodeDatagramProtocol(asyncio.DatagramProtocol):
             return
         sender_id = int.from_bytes(data[:_SENDER_HEADER_LEN], "big")
         self._transport.frames_delivered += 1
+        self._transport.trace.count("net.frames_delivered")
         self._node.receive(sender_id, data[_SENDER_HEADER_LEN:])
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover

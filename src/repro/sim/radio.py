@@ -117,6 +117,8 @@ class Radio:
         sender.energy.charge_tx(nbytes)
         self.frames_sent += 1
         self.bytes_sent += nbytes
+        net.trace.count("net.frames_sent")
+        net.trace.count("net.bytes_sent", nbytes)
 
         for monitor in self.monitors:
             monitor(sim.now, sender_id, frame)
@@ -135,6 +137,7 @@ class Radio:
                 self._rng.random() < self.config.loss_probability
             ):
                 self.frames_lost += 1
+                net.trace.count("net.frames_lost")
                 continue
             if self.config.model_collisions:
                 busy_until = self._rx_busy_until.get(receiver_id, -1.0)
@@ -143,6 +146,7 @@ class Radio:
                     # frame is destroyed (we keep the earlier one, modeling
                     # capture of the stronger first arrival).
                     self.frames_collided += 1
+                    net.trace.count("net.frames_collided")
                     continue
                 self._rx_busy_until[receiver_id] = arrival
             sim.schedule(
@@ -156,6 +160,7 @@ class Radio:
             return
         receiver.energy.charge_rx(nbytes)
         self.frames_delivered += 1
+        self._network.trace.count("net.frames_delivered")
         receiver.receive(sender_id, frame)
 
 

@@ -1,44 +1,70 @@
-"""Lightweight counters and message accounting for experiments.
+"""Counter/event facade over :mod:`repro.telemetry` (legacy surface).
 
 Figure 9 of the paper reports *messages exchanged per node* during key
 setup; the protocol increments named counters here so experiments read
-totals without instrumenting every handler.
+totals without instrumenting every handler. Since the telemetry layer
+landed, :class:`Trace` is a thin compatibility facade: ``count`` feeds
+the deployment's :class:`~repro.telemetry.registry.MetricsRegistry` and
+``record`` its :class:`~repro.telemetry.events.EventStream`, so the
+seed-era API keeps working while every counter and event is visible to
+JSONL export, periodic sampling and the gateway snapshot. New code
+should prefer ``trace.telemetry`` directly (gauges and histograms only
+exist there).
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+
+from repro.telemetry import Telemetry
+
+__all__ = ["Trace"]
 
 
-@dataclass
 class Trace:
     """Named counters plus an optional bounded event log."""
 
-    counters: Counter = field(default_factory=Counter)
-    log_limit: int = 0
-    events: list[tuple[float, str, dict]] = field(default_factory=list)
-    #: Events that arrived after the log filled up. Experiments check this
-    #: to detect a truncated log instead of silently analyzing a prefix.
-    dropped: int = 0
+    def __init__(self, log_limit: int = 0, telemetry: Telemetry | None = None) -> None:
+        """``log_limit`` bounds the event log (0 = logging disabled);
+        ``telemetry`` attaches to an existing backing store instead of
+        creating a fresh one."""
+        self.telemetry = telemetry if telemetry is not None else Telemetry(log_limit)
+
+    @property
+    def log_limit(self) -> int:
+        """Event-buffer bound (0 = event logging disabled)."""
+        return self.telemetry.events.limit
+
+    @property
+    def counters(self) -> Counter:
+        """The shared named-counter map (the registry's ``Counter``)."""
+        return self.telemetry.registry.counters
+
+    @property
+    def events(self) -> list[tuple[float, str, dict]]:
+        """Buffered events in seed-era tuple form ``(time, kind, details)``."""
+        return [(e.time, e.kind, e.details) for e in self.telemetry.events.events]
+
+    @property
+    def dropped(self) -> int:
+        """Events that arrived after the log filled up. Experiments check
+        this to detect a truncated log instead of silently analyzing a
+        prefix."""
+        return self.telemetry.events.dropped
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name``."""
-        self.counters[name] += amount
+        self.telemetry.registry.inc(name, amount)
 
     def record(self, time: float, kind: str, **details) -> None:
-        """Append to the event log if logging is enabled (log_limit > 0).
+        """Emit an event; buffer it if logging is enabled (log_limit > 0).
 
         Once ``log_limit`` events are stored, further events are counted
         in :attr:`dropped` rather than appended (with logging disabled
-        entirely, nothing is stored or counted).
+        entirely, nothing is stored or counted — but live subscribers on
+        ``telemetry.events`` still see every record).
         """
-        if not self.log_limit:
-            return
-        if len(self.events) < self.log_limit:
-            self.events.append((time, kind, details))
-        else:
-            self.dropped += 1
+        self.telemetry.emit(time, kind, **details)
 
     @property
     def truncated(self) -> bool:
@@ -46,4 +72,5 @@ class Trace:
         return self.dropped > 0
 
     def __getitem__(self, name: str) -> int:
+        """Current total of counter ``name``."""
         return self.counters[name]

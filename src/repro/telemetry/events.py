@@ -1,0 +1,99 @@
+"""The structured event stream: typed records with node, time and phase.
+
+Counters answer "how many"; events answer "what happened when". A
+:class:`TelemetryEvent` is one typed record — protocol (virtual) time,
+dotted kind, originating node id, protocol phase and free-form details —
+and an :class:`EventStream` fans records out to live subscribers (the
+JSONL exporter, tests, dashboards) while optionally keeping a bounded
+in-memory buffer for post-hoc inspection.
+
+The buffer bound exists because live deployments emit events forever:
+once ``limit`` records are stored, further ones are *delivered to
+subscribers but not buffered*, and :attr:`EventStream.dropped` counts
+them so analyses detect a truncated buffer instead of silently reading a
+prefix (the same contract the old ``Trace`` event log had).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["TelemetryEvent", "EventStream"]
+
+#: Subscriber signature: called once per emitted event, in emission order.
+Subscriber = Callable[["TelemetryEvent"], None]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured record on the deployment's event stream."""
+
+    #: Protocol (virtual) time the event occurred, in seconds.
+    time: float
+    #: Dotted event name, e.g. ``"setup.end"`` or ``"refresh.round"``.
+    kind: str
+    #: Originating node id; ``None`` for deployment-wide events.
+    node: int | None = None
+    #: Protocol phase: ``"setup"``, ``"data"``, ``"refresh"``, ``"maint"``.
+    phase: str | None = None
+    #: Free-form, JSON-serializable extra fields.
+    details: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """This event as a flat JSON-serializable dict (JSONL ``event`` row)."""
+        record = {"type": "event", "t": self.time, "kind": self.kind}
+        if self.node is not None:
+            record["node"] = self.node
+        if self.phase is not None:
+            record["phase"] = self.phase
+        if self.details:
+            record["details"] = self.details
+        return record
+
+
+class EventStream:
+    """Ordered event fan-out with an optional bounded in-memory buffer."""
+
+    def __init__(self, limit: int = 0) -> None:
+        """``limit`` is the buffer bound; 0 disables buffering entirely
+        (subscribers still see every event, and nothing counts as dropped).
+        """
+        if limit < 0:
+            raise ValueError("limit must be >= 0")
+        self.limit = limit
+        #: Buffered events, oldest first (at most ``limit`` of them).
+        self.events: list[TelemetryEvent] = []
+        #: Events that arrived after the buffer filled (delivered, not stored).
+        self.dropped: int = 0
+        self._subscribers: list[Subscriber] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Deliver ``event`` to all subscribers and buffer it if room remains."""
+        if self.limit:
+            if len(self.events) < self.limit:
+                self.events.append(event)
+            else:
+                self.dropped += 1
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Register a live consumer; returns a zero-argument unsubscribe."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            """Detach the subscriber (idempotent)."""
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+        return unsubscribe
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event was not buffered for space."""
+        return self.dropped > 0
+
+    def __len__(self) -> int:
+        """Number of buffered events."""
+        return len(self.events)

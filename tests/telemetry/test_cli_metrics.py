@@ -1,0 +1,71 @@
+"""The metrics CLI surface: run-live --metrics-out + metrics summarize.
+
+Pins the PR's acceptance criterion: a live loopback run's exported
+stream, summarized, reports the same hello/linkinfo message counts a
+same-seed post-hoc ``SetupMetrics`` does.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.protocol.setup import deploy
+from repro.telemetry import read_records
+
+N, DENSITY, SEED = 50, 10.0, 3
+
+
+@pytest.fixture(scope="module")
+def metrics_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("metrics") / "m.jsonl"
+    rc = main([
+        "run-live", "--n", str(N), "--density", str(DENSITY),
+        "--seed", str(SEED), "--transport", "loopback",
+        "--rounds", "1", "--metrics-out", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+def test_stream_is_parseable_jsonl(metrics_file):
+    records = read_records(metrics_file)
+    types = {r["type"] for r in records}
+    assert types == {"event", "sample", "summary"}
+    for record in records:
+        assert isinstance(record["t"], (int, float))
+        assert "wall" in record
+    assert records[-1]["type"] == "summary"
+    assert records[-1]["transport"] == "loopback"
+
+
+def test_summarize_matches_setup_metrics(metrics_file, capsys):
+    _, setup = deploy(N, DENSITY, seed=SEED)
+    assert main(["metrics", "summarize", str(metrics_file), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["hello_messages"] == setup.hello_messages
+    assert summary["linkinfo_messages"] == setup.linkinfo_messages
+    assert summary["clusters"] == setup.cluster_count
+    assert summary["n"] == N
+    assert summary["mean_keys_per_node"] == pytest.approx(
+        setup.mean_keys_per_node
+    )
+
+
+def test_summarize_renders_text(metrics_file, capsys):
+    assert main(["metrics", "summarize", str(metrics_file)]) == 0
+    out = capsys.readouterr().out
+    assert "run summary" in out
+    assert "hello_messages" in out
+    assert "transport=loopback" in out
+
+
+def test_summarize_missing_file_fails(capsys, tmp_path):
+    assert main(["metrics", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+    assert "nope.jsonl" in capsys.readouterr().out
+
+
+def test_summarize_malformed_file_fails(capsys, tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{not json\n")
+    assert main(["metrics", "summarize", str(bad)]) == 1
