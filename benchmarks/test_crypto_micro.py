@@ -30,9 +30,19 @@ def test_block_encrypt(benchmark, cipher_cls):
     benchmark(cipher.encrypt_block, block)
 
 
-def test_ctr_frame_encrypt(benchmark):
+@pytest.mark.parametrize("backend", ["pure", "vector"])
+def test_ctr_frame_encrypt(benchmark, backend):
     cipher = get_cipher("speck64/128", KEY)
-    benchmark(ctr_encrypt, cipher, 7, PAYLOAD)
+    benchmark(ctr_encrypt, cipher, 7, PAYLOAD, backend)
+
+
+@pytest.mark.parametrize("n_blocks", [3, 64])
+@pytest.mark.parametrize("backend", ["pure", "vector"])
+def test_keystream_batch(benchmark, backend, n_blocks):
+    """Scalar vs batched keystream at the frame size and the lane peak."""
+    cipher = get_cipher("speck64/128", KEY)
+    payload = bytes(8 * n_blocks)
+    benchmark(ctr_encrypt, cipher, 7, payload, backend)
 
 
 def test_hmac_frame(benchmark):
@@ -43,8 +53,11 @@ def test_truncated_mac_frame(benchmark):
     benchmark(mac, KEY, PAYLOAD)
 
 
-def test_seal_frame(benchmark):
-    benchmark(seal, KEY, 7, PAYLOAD)
+@pytest.mark.parametrize("backend", ["pure", "vector"])
+def test_seal_frame(benchmark, backend):
+    from repro.crypto import AeadConfig
+
+    benchmark(seal, KEY, 7, PAYLOAD, config=AeadConfig(backend=backend))
 
 
 def test_pure_python_sha256(benchmark):

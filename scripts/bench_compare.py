@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Tolerance gate for committed benchmark JSONs.
+
+Compares a freshly measured benchmark payload against a committed
+baseline and fails (exit 1) when any shared rate regresses by more than
+the tolerance: ``fresh >= baseline * (1 - tolerance)`` must hold for
+every compared field. CI's perf-smoke job runs this with a generous
+``--tolerance 0.5`` — shared runners are noisy, and the gate exists to
+catch order-of-magnitude regressions (a kernel silently falling back to
+the scalar path), not 10% jitter.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json FRESH.json --tolerance 0.5
+
+Both crypto payloads (``benchmark: crypto_kernels``; rows keyed by
+(cipher, blocks), every ``*_per_s`` field compared) and runtime payloads
+(``benchmark: runtime_setup_throughput``; rows keyed by (transport, n),
+``events_per_s`` compared) are understood. Rows present in only one file
+are reported but never fail the gate — sweeps may grow between PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterator
+
+
+def _rows(payload: dict) -> dict[tuple, dict]:
+    """Index a payload's comparable rows by their identity key."""
+    kind = payload.get("benchmark", "")
+    indexed: dict[tuple, dict] = {}
+    if kind == "crypto_kernels":
+        for row in payload.get("results", ()):
+            indexed[("kernel", row["cipher"], row["blocks"])] = row
+        for row in payload.get("frame_path", ()):
+            indexed[("frame", row["cipher"], row["payload_bytes"])] = row
+    elif kind == "runtime_setup_throughput":
+        for row in payload.get("results", ()):
+            indexed[("setup", row["transport"], row["n"])] = row
+    else:
+        raise ValueError(f"unrecognized benchmark payload: {kind!r}")
+    return indexed
+
+
+def _rate_fields(row: dict) -> Iterator[str]:
+    """The throughput fields of a row (higher is better)."""
+    for field in row:
+        if field.endswith("_per_s"):
+            yield field
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """All regression messages; empty when the gate passes."""
+    base_rows = _rows(baseline)
+    fresh_rows = _rows(fresh)
+    regressions: list[str] = []
+    for key, base_row in sorted(base_rows.items(), key=repr):
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            print(f"note: {key} in baseline only (skipped)")
+            continue
+        for field in _rate_fields(base_row):
+            base_val = base_row[field]
+            fresh_val = fresh_row.get(field)
+            if fresh_val is None:
+                print(f"note: {key}.{field} missing from fresh run (skipped)")
+                continue
+            floor = base_val * (1.0 - tolerance)
+            if fresh_val < floor:
+                regressions.append(
+                    f"{key} {field}: {fresh_val:,.1f} < {floor:,.1f} "
+                    f"(baseline {base_val:,.1f}, tolerance {tolerance:.0%})"
+                )
+    for key in sorted(set(fresh_rows) - set(base_rows), key=repr):
+        print(f"note: {key} in fresh run only (skipped)")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed benchmark JSON")
+    parser.add_argument("fresh", help="freshly measured benchmark JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional slowdown before failing (default: 0.5)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    with open(args.baseline, encoding="utf-8") as fp:
+        baseline = json.load(fp)
+    with open(args.fresh, encoding="utf-8") as fp:
+        fresh = json.load(fp)
+    regressions = compare(baseline, fresh, args.tolerance)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond tolerance:")
+        for message in regressions:
+            print(f"  {message}")
+        return 1
+    print(f"\nOK: {len(_rows(baseline))} baseline rows within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -203,7 +203,11 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
         # Replays the buffered setup-phase events, then streams live ones.
         writer.subscribe_to(telemetry.events)
         sampler = PeriodicSampler(
-            deployed, telemetry.registry, writer, args.sample_period
+            deployed,
+            telemetry.registry,
+            writer,
+            args.sample_period,
+            before_sample=telemetry.crypto.publish,
         )
         sampler.start()
 
@@ -216,6 +220,7 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
 
     if writer is not None and sampler is not None:
         sampler.stop()
+        telemetry.crypto.publish()
         writer.write_summary(
             deployed.now(),
             telemetry.registry,
@@ -245,6 +250,15 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
             },
         )
     )
+    return 0
+
+
+def _cmd_bench_crypto(args: argparse.Namespace) -> int:
+    from repro.bench import render_bench_crypto, write_bench_crypto
+
+    payload = write_bench_crypto(args.out, quick=args.quick)
+    print(render_bench_crypto(payload))
+    print(f"\nwrote {args.out}")
     return 0
 
 
@@ -368,6 +382,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="protocol seconds between metric samples (with --metrics-out)",
     )
     run_live.set_defaults(func=_cmd_run_live)
+
+    bench = sub.add_parser("bench", help="performance benchmarks")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_crypto = bench_sub.add_parser(
+        "crypto",
+        help="time the scalar vs vector keystream kernels; write BENCH_crypto.json",
+    )
+    bench_crypto.add_argument(
+        "--out",
+        default="BENCH_crypto.json",
+        metavar="PATH",
+        help="where to write the JSON payload (default: BENCH_crypto.json)",
+    )
+    bench_crypto.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repetitions — noisier, for CI smoke runs",
+    )
+    bench_crypto.set_defaults(func=_cmd_bench_crypto)
 
     metrics = sub.add_parser("metrics", help="work with exported telemetry streams")
     metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)

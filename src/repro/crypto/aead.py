@@ -11,6 +11,12 @@ independent derived keys:
 *associated data* (bytes that are authenticated but not encrypted — the
 cluster id ``CID`` that Step 2 prepends in clear so receivers can select
 the right key from their set ``S``).
+
+Both directions sit on the per-frame hot path, so the MAC input is fed to
+the hasher as ``header | ciphertext`` parts (never concatenated — the
+ciphertext is the bulk of every frame) and the CTR keystream goes through
+the batched kernels selected by ``AeadConfig.backend`` (see
+:mod:`repro.crypto.kernels`).
 """
 
 from __future__ import annotations
@@ -19,8 +25,9 @@ from dataclasses import dataclass
 
 from repro.crypto.block import get_cipher
 from repro.crypto.kdf import ENCRYPT_USAGE, MAC_USAGE, derive_usage_key
-from repro.crypto.mac import DEFAULT_TAG_LEN, mac, verify
+from repro.crypto.mac import DEFAULT_TAG_LEN, mac_parts, verify_parts
 from repro.crypto.modes import ctr_decrypt, ctr_encrypt
+from repro.crypto.stats import STATS
 
 
 class AuthenticationError(Exception):
@@ -30,10 +37,18 @@ class AuthenticationError(Exception):
 
 @dataclass(frozen=True)
 class AeadConfig:
-    """Cipher selection and tag size for the composition."""
+    """Cipher selection, tag size and kernel backend for the composition.
+
+    ``backend`` picks the keystream kernel backend per deployment
+    (``None`` = the process-wide default; see
+    :mod:`repro.crypto.kernels`). It never changes bytes on the wire —
+    the ``pure`` and ``vector`` backends are byte-identical by the
+    parity property tests.
+    """
 
     cipher: str = "speck64/128"
     tag_len: int = DEFAULT_TAG_LEN
+    backend: str | None = None
 
 
 def seal(
@@ -48,11 +63,14 @@ def seal(
     Returns ``ciphertext | tag``; the tag covers the associated data, the
     counter and the ciphertext, binding all three.
     """
+    STATS.seals += 1
     k_encr = derive_usage_key(key, ENCRYPT_USAGE)
     k_mac = derive_usage_key(key, MAC_USAGE)
     cipher = get_cipher(config.cipher, k_encr)
-    ct = ctr_encrypt(cipher, counter, plaintext)
-    tag = mac(k_mac, _mac_input(config, associated_data, counter, ct), config.tag_len)
+    ct = ctr_encrypt(cipher, counter, plaintext, config.backend)
+    tag = mac_parts(
+        k_mac, (_mac_header(config, associated_data, counter), ct), config.tag_len
+    )
     return ct + tag
 
 
@@ -69,23 +87,26 @@ def open_(
         AuthenticationError: on a bad tag or truncated input; the payload is
             never decrypted in that case (verify-then-decrypt).
     """
+    STATS.opens += 1
     if len(sealed) < config.tag_len:
         raise AuthenticationError("message shorter than its MAC tag")
     ct, tag = sealed[: -config.tag_len], sealed[-config.tag_len :]
     k_encr = derive_usage_key(key, ENCRYPT_USAGE)
     k_mac = derive_usage_key(key, MAC_USAGE)
-    if not verify(k_mac, _mac_input(config, associated_data, counter, ct), tag):
+    if not verify_parts(
+        k_mac, (_mac_header(config, associated_data, counter), ct), tag
+    ):
         raise AuthenticationError("MAC verification failed")
     cipher = get_cipher(config.cipher, k_encr)
-    return ctr_decrypt(cipher, counter, ct)
+    return ctr_decrypt(cipher, counter, ct, config.backend)
 
 
-def _mac_input(
-    config: AeadConfig, associated_data: bytes, counter: int, ciphertext: bytes
-) -> bytes:
-    """Unambiguous MAC input: cipher identity, length-prefixed AD, counter,
-    ciphertext. Binding the cipher name prevents a tag computed for one
-    cipher from verifying a decryption under another."""
+def _mac_header(config: AeadConfig, associated_data: bytes, counter: int) -> bytes:
+    """Unambiguous MAC-input prefix: cipher identity, length-prefixed AD and
+    counter. The ciphertext follows as a separate hasher part, so the
+    resulting tag equals ``HMAC(header | ciphertext)`` without ever
+    building that concatenation. Binding the cipher name prevents a tag
+    computed for one cipher from verifying a decryption under another."""
     name = config.cipher.encode("ascii")
     return (
         bytes([len(name)])
@@ -93,5 +114,4 @@ def _mac_input(
         + len(associated_data).to_bytes(4, "big")
         + associated_data
         + counter.to_bytes(8, "big")
-        + ciphertext
     )

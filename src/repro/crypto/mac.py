@@ -15,8 +15,11 @@ common 8-byte sensor-network tag size (TinySec/SPINS use 4–8 bytes).
 
 from __future__ import annotations
 
+from functools import lru_cache
+from typing import Iterable
+
 from repro.crypto.block import BlockCipher
-from repro.crypto.sha256 import sha256_fast
+from repro.crypto.sha256 import sha256_fast, sha256_hasher
 from repro.util.bytesutil import constant_time_eq, xor_bytes
 
 DEFAULT_TAG_LEN = 8
@@ -26,27 +29,69 @@ _IPAD = bytes(0x36 for _ in range(_BLOCK))
 _OPAD = bytes(0x5C for _ in range(_BLOCK))
 
 
-def hmac_sha256(key: bytes, message: bytes) -> bytes:
-    """Full 32-byte HMAC-SHA256 tag."""
+@lru_cache(maxsize=8192)
+def _hmac_pads(key: bytes) -> tuple[bytes, bytes]:
+    """The key's inner/outer pad blocks (``K ^ ipad``, ``K ^ opad``).
+
+    A sensor network MACs thousands of frames under a handful of
+    long-lived keys; caching the pads removes two 64-byte XORs and a key
+    normalization from every tag on the hot path.
+    """
     if len(key) > _BLOCK:
         key = sha256_fast(key)
     key = key.ljust(_BLOCK, b"\x00")
-    inner = sha256_fast(xor_bytes(key, _IPAD) + message)
-    return sha256_fast(xor_bytes(key, _OPAD) + inner)
+    return xor_bytes(key, _IPAD), xor_bytes(key, _OPAD)
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Full 32-byte HMAC-SHA256 tag."""
+    return hmac_sha256_parts(key, (message,))
+
+
+def hmac_sha256_parts(key: bytes, parts: Iterable[bytes]) -> bytes:
+    """Full HMAC-SHA256 tag over the concatenation of ``parts``.
+
+    Feeds each part to an incremental hasher instead of joining them, so
+    callers authenticating ``header | ciphertext`` never copy the
+    ciphertext (the AEAD layer's zero-copy MAC input path).
+    """
+    ipad, opad = _hmac_pads(key)
+    h = sha256_hasher()
+    h.update(ipad)
+    for part in parts:
+        h.update(part)
+    outer = sha256_hasher()
+    outer.update(opad)
+    outer.update(h.digest())
+    return outer.digest()
 
 
 def mac(key: bytes, message: bytes, tag_len: int = DEFAULT_TAG_LEN) -> bytes:
     """Truncated HMAC tag as carried on the (simulated) wire."""
     if not 1 <= tag_len <= 32:
         raise ValueError(f"tag_len must be in [1, 32], got {tag_len}")
-    return hmac_sha256(key, message)[:tag_len]
+    return hmac_sha256_parts(key, (message,))[:tag_len]
+
+
+def mac_parts(
+    key: bytes, parts: Iterable[bytes], tag_len: int = DEFAULT_TAG_LEN
+) -> bytes:
+    """Truncated HMAC tag over the concatenation of ``parts``, zero-copy."""
+    if not 1 <= tag_len <= 32:
+        raise ValueError(f"tag_len must be in [1, 32], got {tag_len}")
+    return hmac_sha256_parts(key, parts)[:tag_len]
 
 
 def verify(key: bytes, message: bytes, tag: bytes) -> bool:
     """Constant-time verification of a truncated HMAC tag."""
+    return verify_parts(key, (message,), tag)
+
+
+def verify_parts(key: bytes, parts: Iterable[bytes], tag: bytes) -> bool:
+    """Constant-time verification of a truncated HMAC tag over ``parts``."""
     if not tag:
         return False
-    return constant_time_eq(mac(key, message, len(tag)), tag)
+    return constant_time_eq(mac_parts(key, parts, len(tag)), tag)
 
 
 class CbcMac:

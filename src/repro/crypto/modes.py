@@ -14,13 +14,21 @@ pair must never encrypt two different messages.
 
 CTR is length-preserving: no padding, ciphertext length equals plaintext
 length, which matters on energy-metered radios.
+
+Keystream generation is the measured hot path of the whole stack (every
+frame is sealed/opened twice per hop), so :func:`_keystream` dispatches
+the entire block range to a batched kernel
+(:mod:`repro.crypto.kernels`) when the active backend allows it; the
+scalar per-block loop remains as the ``pure`` reference oracle.
 """
 
 from __future__ import annotations
 
 import struct
 
+from repro.crypto import kernels
 from repro.crypto.block import BlockCipher
+from repro.crypto.stats import STATS
 from repro.util.bytesutil import xor_bytes
 
 #: Exclusive upper bound on message counters (48 bits).
@@ -29,31 +37,47 @@ MAX_COUNTER = 1 << 48
 _MAX_BLOCKS = 1 << 16
 
 
-def _keystream(cipher: BlockCipher, counter: int, length: int) -> bytes:
-    """Generate ``length`` keystream bytes for message ``counter``."""
+def _keystream(
+    cipher: BlockCipher, counter: int, length: int, backend: str | None = None
+) -> bytes:
+    """Generate ``length`` keystream bytes for message ``counter``.
+
+    ``backend`` overrides the process-wide kernel backend for this call
+    (``None`` = use the active default, see :mod:`repro.crypto.kernels`).
+    """
     n_blocks = -(-length // cipher.block_size)
     if n_blocks > _MAX_BLOCKS:
         raise ValueError(f"message too long: {length} bytes exceeds the counter segment")
     base = counter << 16
-    blocks = [
-        cipher.encrypt_block(struct.pack(">Q", base + i)) for i in range(n_blocks)
-    ]
-    return b"".join(blocks)[:length]
+    STATS.keystream_blocks += n_blocks
+    if kernels.use_vector(cipher.name, n_blocks, backend):
+        STATS.keystream_vector_blocks += n_blocks
+        ks = kernels.keystream(cipher, base, n_blocks)
+    else:
+        ks = b"".join(
+            cipher.encrypt_block(struct.pack(">Q", base + i)) for i in range(n_blocks)
+        )
+    return ks[:length] if len(ks) != length else ks
 
 
-def ctr_encrypt(cipher: BlockCipher, counter: int, plaintext: bytes) -> bytes:
+def ctr_encrypt(
+    cipher: BlockCipher, counter: int, plaintext: bytes, backend: str | None = None
+) -> bytes:
     """Encrypt ``plaintext`` under message ``counter``.
 
     ``counter`` is the message counter maintained at both ends; each
     message must use a fresh value under a given key or keystream reuse
     destroys confidentiality. Counter hygiene is the caller's job (see
-    :class:`repro.protocol.forwarding.CounterState`).
+    :class:`repro.protocol.forwarding.CounterState`). ``backend``
+    optionally forces the keystream kernel backend for this call.
     """
     if not 0 <= counter < MAX_COUNTER:
         raise ValueError(f"counter must be in [0, 2**48), got {counter}")
-    return xor_bytes(plaintext, _keystream(cipher, counter, len(plaintext)))
+    return xor_bytes(plaintext, _keystream(cipher, counter, len(plaintext), backend))
 
 
-def ctr_decrypt(cipher: BlockCipher, counter: int, ciphertext: bytes) -> bytes:
+def ctr_decrypt(
+    cipher: BlockCipher, counter: int, ciphertext: bytes, backend: str | None = None
+) -> bytes:
     """Invert :func:`ctr_encrypt` (CTR is an involution given the counter)."""
-    return ctr_encrypt(cipher, counter, ciphertext)
+    return ctr_encrypt(cipher, counter, ciphertext, backend)

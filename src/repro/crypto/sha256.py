@@ -90,6 +90,18 @@ def sha256_fast(data: bytes) -> bytes:
     return hashlib.sha256(data).digest()
 
 
+def sha256_hasher():
+    """Incremental hasher on the platform implementation.
+
+    The streaming counterpart of :func:`sha256_fast` (same validated
+    fast path, same digests as :class:`Sha256`): callers feed message
+    parts with ``update`` instead of concatenating them first, which is
+    what keeps the AEAD MAC path zero-copy (see
+    :func:`repro.crypto.mac.hmac_sha256_parts`).
+    """
+    return hashlib.sha256()
+
+
 class Sha256:
     """Incremental SHA-256 with the familiar ``update``/``digest`` API."""
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.aead import AeadConfig
+from repro.crypto.kernels import BACKENDS
 from repro.util.validate import check_positive
 
 #: Key-refresh strategies of Sec. IV-C / VI. ``"rehash"`` replaces every
@@ -29,6 +30,12 @@ class ProtocolConfig:
     # -- crypto -------------------------------------------------------------
     cipher: str = "speck64/128"
     tag_len: int = 8
+    #: Keystream kernel backend: ``"pure"`` (scalar reference oracle),
+    #: ``"vector"`` (batched kernels), or ``None`` to use the process-wide
+    #: default (``REPRO_CRYPTO_BACKEND``, defaulting to ``"vector"``).
+    #: Backends are byte-identical on the wire; this only selects the
+    #: implementation (see docs/PERFORMANCE.md).
+    crypto_backend: str | None = None
 
     # -- cluster key setup (Sec. IV-B) ---------------------------------------
     #: Mean of the exponential clusterhead-election delay. The *rate* is
@@ -80,6 +87,11 @@ class ProtocolConfig:
     join_response_jitter_s: float = 0.5
 
     def __post_init__(self) -> None:
+        if self.crypto_backend is not None and self.crypto_backend not in BACKENDS:
+            raise ValueError(
+                f"crypto_backend must be one of {BACKENDS} or None, "
+                f"got {self.crypto_backend!r}"
+            )
         check_positive("mean_hello_delay_s", self.mean_hello_delay_s)
         check_positive("cluster_phase_duration_s", self.cluster_phase_duration_s)
         check_positive("link_jitter_s", self.link_jitter_s)
@@ -114,7 +126,9 @@ class ProtocolConfig:
     @property
     def aead(self) -> AeadConfig:
         """The AEAD parameters implied by this configuration."""
-        return AeadConfig(cipher=self.cipher, tag_len=self.tag_len)
+        return AeadConfig(
+            cipher=self.cipher, tag_len=self.tag_len, backend=self.crypto_backend
+        )
 
     @property
     def setup_end_s(self) -> float:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import struct
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.crypto.aead import AeadConfig, AuthenticationError, open_, seal
 from repro.crypto.kdf import prf
@@ -235,12 +236,16 @@ def open_inner_windowed(
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=16384)
 def hop_key(cluster_key: bytes, sender: int) -> bytes:
     """Per-hop-sender subkey ``F(K_c, "hop" | sender)``.
 
     Lets every cluster member keep an independent counter space under the
     shared cluster key; any holder of ``K_c`` can derive it for any sender,
-    preserving the broadcast/decrypt-by-all property.
+    preserving the broadcast/decrypt-by-all property. Cached: every frame
+    a node forwards re-derives the same subkey from the same long-lived
+    cluster key, so the PRF runs once per (cluster, sender) instead of
+    once per frame.
     """
     return prf(cluster_key, _HOP_LABEL + struct.pack(">I", sender))
 

@@ -18,10 +18,9 @@ needing those stay on :class:`~repro.runtime.transport.SimTransport`.
 from __future__ import annotations
 
 import asyncio
-import heapq
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Callable
 
-from repro.sim.engine import EventHandle
+from repro.sim.engine import EventHandle, EventQueue
 from repro.sim.radio import RadioConfig
 from repro.sim.trace import Trace
 from repro.runtime.transport import ReceiveEndpoint, Transport
@@ -54,8 +53,7 @@ class LoopbackTransport(Transport):
         self.config = radio_config or RadioConfig()
         self.pace = pace
         self._nodes: dict[int, ReceiveEndpoint] = {}
-        self._queue: list[tuple[float, int, EventHandle, Callable[[], Any]]] = []
-        self._seq = 0
+        self._events = EventQueue()
         self._now = 0.0
         self.events_executed = 0
 
@@ -82,15 +80,11 @@ class LoopbackTransport(Transport):
         """The virtual protocol clock (advanced by executed events)."""
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Arm ``callback`` on the ``(time, seq)``-ordered virtual queue."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        time = self._now + delay
-        handle = EventHandle(time)
-        heapq.heappush(self._queue, (time, self._seq, handle, callback))
-        self._seq += 1
-        return handle
+        return self._events.push(self._now + delay, callback)
 
     def broadcast(self, sender_id: int, frame: bytes) -> None:
         """Schedule delivery of ``frame`` to the sender's static neighbors."""
@@ -122,13 +116,12 @@ class LoopbackTransport(Transport):
 
     async def run_async(self, until: float | None = None) -> float:
         """Execute pending events in (time, seq) order up to ``until``."""
-        while self._queue:
-            time, _seq, handle, callback = self._queue[0]
-            if until is not None and time > until:
+        events = self._events
+        while True:
+            time = events.peek_time()
+            if time is None or (until is not None and time > until):
                 break
-            heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
+            _time, _handle, callback = events.pop()
             if self.pace > 0.0 and time > self._now:
                 await asyncio.sleep((time - self._now) * self.pace)
             self._now = time
@@ -140,8 +133,8 @@ class LoopbackTransport(Transport):
 
     @property
     def pending(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for _, _, h, _ in self._queue if not h.cancelled)
+        """Number of queued, non-cancelled events — O(1)."""
+        return len(self._events)
 
 
 class _Delivery:

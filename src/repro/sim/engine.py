@@ -1,10 +1,18 @@
 """Discrete-event simulation engine.
 
 A classic calendar-queue engine on :mod:`heapq`: events are ``(time, seq,
-callback)`` triples, ``seq`` breaks ties deterministically in scheduling
-order, and cancellation is lazy (cancelled handles are skipped when popped,
-which keeps :meth:`EventHandle.cancel` O(1) — important because cluster
-formation cancels one pending timer per node that joins a cluster).
+handle, callback)`` entries, ``seq`` breaks ties deterministically in
+scheduling order, and cancellation is lazy (cancelled handles are skipped
+when popped, which keeps :meth:`EventHandle.cancel` O(1) — important
+because cluster formation cancels one pending timer per node that joins a
+cluster).
+
+The queue itself lives in :class:`EventQueue`, shared by the simulator and
+the loopback runtime transport. It maintains a live (non-cancelled,
+non-fired) event count so ``pending`` is O(1) instead of a heap scan, and
+compacts the heap when cancelled tombstones outnumber live events — an
+election over n nodes cancels O(n) timers that would otherwise sit in the
+heap until their deadlines drain past.
 """
 
 from __future__ import annotations
@@ -12,19 +20,103 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+#: Tombstone count below which compaction is never attempted; rebuilding a
+#: tiny heap costs more bookkeeping than the tombstones do.
+_COMPACT_MIN_CANCELLED = 64
+
 
 class EventHandle:
     """Cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "fired", "_queue")
 
-    def __init__(self, time: float) -> None:
+    def __init__(self, time: float, queue: "EventQueue | None" = None) -> None:
         self.time = time
         self.cancelled = False
+        self.fired = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._on_cancel()
+
+
+class EventQueue:
+    """``(time, seq)``-ordered calendar queue with O(1) live count.
+
+    ``len(queue)`` is the number of events that will still fire. Cancelled
+    entries stay in the heap as tombstones (O(1) cancel) and are skipped
+    by :meth:`peek_time` / :meth:`pop`; once tombstones dominate the heap
+    it is rebuilt from the live entries in one O(n) pass.
+    """
+
+    __slots__ = ("_heap", "_seq", "_cancelled")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventHandle, Callable[[], Any]]] = []
+        self._seq = 0
+        self._cancelled = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled, not yet fired) events."""
+        return len(self._heap) - self._cancelled
+
+    def push(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+        """Enqueue ``callback`` at ``time``; ties fire in push order."""
+        handle = EventHandle(time, self)
+        heapq.heappush(self._heap, (time, self._seq, handle, callback))
+        self._seq += 1
+        return handle
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty.
+
+        Pops cancelled tombstones off the top as a side effect, so a
+        subsequent :meth:`pop` returns the event this time refers to.
+        """
+        heap = self._heap
+        while heap:
+            if heap[0][2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+            else:
+                return heap[0][0]
+        return None
+
+    def pop(self) -> tuple[float, EventHandle, Callable[[], Any]] | None:
+        """Dequeue the next live event; None if the queue is empty.
+
+        Marks the returned handle as fired (its ``cancel`` becomes a
+        no-op and it no longer counts as a tombstone).
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, handle, callback = heapq.heappop(heap)
+            if handle.cancelled:
+                self._cancelled -= 1
+                continue
+            handle.fired = True
+            return time, handle, callback
+        return None
+
+    def _on_cancel(self) -> None:
+        """Account for one newly cancelled entry; compact if dominated."""
+        self._cancelled += 1
+        if (
+            self._cancelled > _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries only (O(n))."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
 
 class Simulator:
@@ -35,8 +127,7 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[tuple[float, int, EventHandle, Callable[[], Any]]] = []
-        self._seq = 0
+        self._events = EventQueue()
         self.now = 0.0
         self.events_executed = 0
 
@@ -50,10 +141,7 @@ class Simulator:
         """Schedule ``callback`` at absolute simulation ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
-        handle = EventHandle(time)
-        heapq.heappush(self._queue, (time, self._seq, handle, callback))
-        self._seq += 1
-        return handle
+        return self._events.push(time, callback)
 
     def run(self, until: float | None = None) -> float:
         """Drain the event queue, optionally stopping at time ``until``.
@@ -61,13 +149,12 @@ class Simulator:
         Returns the simulation time reached. With ``until`` set, the clock
         is advanced to exactly ``until`` even if the queue empties earlier.
         """
-        while self._queue:
-            time, _seq, handle, callback = self._queue[0]
-            if until is not None and time > until:
+        events = self._events
+        while True:
+            time = events.peek_time()
+            if time is None or (until is not None and time > until):
                 break
-            heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
+            _time, _handle, callback = events.pop()
             self.now = time
             self.events_executed += 1
             callback()
@@ -77,17 +164,16 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the single next pending event; False when queue is empty."""
-        while self._queue:
-            time, _seq, handle, callback = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self.now = time
-            self.events_executed += 1
-            callback()
-            return True
-        return False
+        item = self._events.pop()
+        if item is None:
+            return False
+        time, _handle, callback = item
+        self.now = time
+        self.events_executed += 1
+        callback()
+        return True
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return sum(1 for _, _, h, _ in self._queue if not h.cancelled)
+        """Number of queued live (non-cancelled) events — O(1)."""
+        return len(self._events)

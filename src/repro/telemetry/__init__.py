@@ -27,6 +27,7 @@ registry unchanged. The metric-name/JSONL contract is documented in
 
 from __future__ import annotations
 
+from repro.telemetry.crypto import CryptoMetricsPublisher
 from repro.telemetry.events import EventStream, TelemetryEvent
 from repro.telemetry.export import JsonlWriter, PeriodicSampler, read_records
 from repro.telemetry.registry import MetricsRegistry
@@ -34,6 +35,7 @@ from repro.telemetry.summary import RunSummary, render_summary, summarize_record
 
 __all__ = [
     "Telemetry",
+    "CryptoMetricsPublisher",
     "MetricsRegistry",
     "EventStream",
     "TelemetryEvent",
@@ -58,6 +60,7 @@ class Telemetry:
         """``event_limit`` bounds the event buffer (0 = no buffering)."""
         self.registry = MetricsRegistry()
         self.events = EventStream(limit=event_limit)
+        self.crypto = CryptoMetricsPublisher(self.registry)
 
     def emit(
         self,
@@ -75,7 +78,12 @@ class Telemetry:
         return event
 
     def snapshot(self) -> dict:
-        """JSON-serializable state: metrics plus event-buffer accounting."""
+        """JSON-serializable state: metrics plus event-buffer accounting.
+
+        Publishes pending ``crypto.*`` counter deltas first, so the
+        snapshot reflects all crypto work done up to this call.
+        """
+        self.crypto.publish()
         snap = self.registry.snapshot()
         snap["events_logged"] = len(self.events)
         snap["events_dropped"] = self.events.dropped

@@ -122,13 +122,20 @@ class PeriodicSampler:
         registry: "MetricsRegistry",
         writer: JsonlWriter,
         period_s: float,
+        before_sample: Callable[[], None] | None = None,
     ) -> None:
-        """``clock`` provides ``schedule``/``now``; samples go to ``writer``."""
+        """``clock`` provides ``schedule``/``now``; samples go to ``writer``.
+
+        ``before_sample``, if given, runs right before each snapshot —
+        the hook deployments use to fold pull-style sources (the global
+        crypto counters) into the registry so samples include them.
+        """
         if period_s <= 0:
             raise ValueError("period_s must be > 0")
         self._clock = clock
         self._registry = registry
         self._writer = writer
+        self._before_sample = before_sample
         self.period_s = period_s
         self.samples_taken = 0
         self._stopped = False
@@ -155,6 +162,8 @@ class PeriodicSampler:
     def _tick(self) -> None:
         if self._stopped:
             return
+        if self._before_sample is not None:
+            self._before_sample()
         self._writer.write_sample(self._now(), self._registry)
         self.samples_taken += 1
         self._handle = self._clock.schedule(self.period_s, self._tick)

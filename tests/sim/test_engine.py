@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventQueue, Simulator
 
 
 def test_events_fire_in_time_order():
@@ -93,3 +93,77 @@ def test_pending_excludes_cancelled():
     h = sim.schedule(2.0, lambda: None)
     h.cancel()
     assert sim.pending == 1
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    h = sim.schedule(2.0, lambda: None)
+    h.cancel()
+    h.cancel()  # must not decrement the live count twice
+    assert sim.pending == 1
+
+
+def test_pending_after_fire():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    sim.step()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_queue_compaction_preserves_order():
+    """Mass cancellation triggers the heap rebuild; survivors still fire
+    in (time, seq) order and the live count stays exact throughout."""
+    q = EventQueue()
+    fired = []
+    handles = []
+    for i in range(300):
+        handles.append(q.push(float(i), lambda i=i: fired.append(i)))
+    keep = set(range(0, 300, 10))
+    for i, h in enumerate(handles):
+        if i not in keep:
+            h.cancel()
+    # Compaction must have kicked in: tombstones were the 270 majority.
+    assert len(q._heap) < 300
+    assert len(q) == len(keep)
+    while (item := q.pop()) is not None:
+        item[2]()
+    assert fired == sorted(keep)
+    assert len(q) == 0
+
+
+def test_queue_peek_then_pop_consistency():
+    q = EventQueue()
+    a = q.push(1.0, lambda: "a")
+    q.push(2.0, lambda: "b")
+    a.cancel()
+    # peek skips the tombstone and agrees with the following pop.
+    assert q.peek_time() == 2.0
+    time, handle, callback = q.pop()
+    assert time == 2.0 and callback() == "b" and handle.fired
+    assert q.peek_time() is None and q.pop() is None
+
+
+def test_cancel_fired_handle_is_noop():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    q.pop()
+    h.cancel()
+    assert q._cancelled == 0  # a fired event is not a tombstone
+
+
+def test_loopback_pending_matches_engine_semantics():
+    from repro.runtime.loopback import LoopbackTransport
+
+    transport = LoopbackTransport({1: [2], 2: [1]})
+    transport.schedule(1.0, lambda: None)
+    h = transport.schedule(2.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert transport.pending == 1
+    transport.run()
+    assert transport.pending == 0

@@ -1,0 +1,96 @@
+"""The CI perf gate: scripts/bench_compare.py tolerance semantics."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).parent.parent / "scripts" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _crypto_payload(rate: float) -> dict:
+    return {
+        "benchmark": "crypto_kernels",
+        "results": [
+            {
+                "cipher": "speck64/128",
+                "blocks": 64,
+                "scalar_blocks_per_s": 70_000.0,
+                "vector_blocks_per_s": rate,
+                "speedup": rate / 70_000.0,
+            }
+        ],
+        "frame_path": [],
+    }
+
+
+def _runtime_payload(rate: float) -> dict:
+    return {
+        "benchmark": "runtime_setup_throughput",
+        "results": [
+            {"n": 400, "transport": "loopback", "events_per_s": rate},
+        ],
+    }
+
+
+def test_identical_payloads_pass():
+    assert bench_compare.compare(_crypto_payload(2e6), _crypto_payload(2e6), 0.5) == []
+
+
+def test_within_tolerance_passes():
+    base, fresh = _crypto_payload(2e6), _crypto_payload(1.1e6)  # -45%
+    assert bench_compare.compare(base, fresh, 0.5) == []
+
+
+def test_regression_beyond_tolerance_fails():
+    base, fresh = _crypto_payload(2e6), _crypto_payload(0.9e6)  # -55%
+    regressions = bench_compare.compare(base, fresh, 0.5)
+    assert len(regressions) == 1
+    assert "vector_blocks_per_s" in regressions[0]
+
+
+def test_runtime_payloads_understood():
+    base, fresh = _runtime_payload(30_000.0), _runtime_payload(10_000.0)
+    regressions = bench_compare.compare(base, fresh, 0.5)
+    assert len(regressions) == 1
+    assert "events_per_s" in regressions[0]
+
+
+def test_rows_missing_from_fresh_are_skipped(capsys):
+    base = _crypto_payload(2e6)
+    fresh = _crypto_payload(2e6)
+    fresh["results"] = []
+    assert bench_compare.compare(base, fresh, 0.5) == []
+    assert "baseline only" in capsys.readouterr().out
+
+
+def test_unknown_payload_kind_rejected():
+    with pytest.raises(ValueError, match="unrecognized benchmark payload"):
+        bench_compare.compare({"benchmark": "mystery"}, {"benchmark": "mystery"}, 0.5)
+
+
+def test_main_exit_codes(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_crypto_payload(2e6)))
+    fresh.write_text(json.dumps(_crypto_payload(0.5e6)))
+    assert bench_compare.main([str(base), str(base), "--tolerance", "0.5"]) == 0
+    assert bench_compare.main([str(base), str(fresh), "--tolerance", "0.5"]) == 1
+
+
+def test_committed_baselines_are_loadable():
+    """The committed BENCH jsons must stay parseable by the gate."""
+    repo = Path(__file__).parent.parent
+    for name in ("BENCH_crypto.json", "BENCH_runtime.json"):
+        payload = json.loads((repo / name).read_text())
+        rows = bench_compare._rows(payload)
+        assert rows, f"{name} produced no comparable rows"
+        assert bench_compare.compare(payload, payload, 0.0) == []

@@ -28,6 +28,19 @@ def test_xor_involution(a, b):
 def test_xor_length_mismatch():
     with pytest.raises(ValueError):
         xor_bytes(b"ab", b"abc")
+    with pytest.raises(ValueError):
+        xor_bytes(b"abc", b"ab")
+
+
+@given(st.binary(max_size=256), st.binary(max_size=256))
+def test_xor_matches_bytewise_reference(a, b):
+    """The int.from_bytes fast path == the obvious per-byte XOR."""
+    if len(a) == len(b):
+        assert xor_bytes(a, b) == bytes(x ^ y for x, y in zip(a, b))
+
+
+def test_xor_empty():
+    assert xor_bytes(b"", b"") == b""
 
 
 @given(st.binary(max_size=32))
