@@ -1,0 +1,43 @@
+"""``ldplint`` — AST static analysis enforcing the paper's security invariants.
+
+The protocol's security argument (Dimitriou & Krontiris, IPPS 2005) rests
+on implementation discipline the type system cannot see: ``K_m`` must be
+erased after link establishment (Sec. IV-B), MAC tags must be compared in
+constant time, key material must never reach logs or telemetry, and
+protocol randomness must be seeded (reproducibility) or come from
+``os.urandom`` (deployment). ``ldplint`` checks those invariants over the
+source tree with a small dataflow core shared by every rule.
+
+Run it as ``repro lint``, ``python -m repro.analysis`` or through
+:func:`lint_paths`. Rules are documented in ``docs/ANALYSIS.md``; findings
+can be suppressed per line with ``# ldplint: disable=RULEID`` (always add
+a justification comment alongside).
+"""
+
+from repro.analysis.lint.config import LintConfig, load_config
+from repro.analysis.lint.core import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.analysis.lint.output import render_findings
+
+# Importing the rule pack registers every rule with the engine.
+from repro.analysis.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+    "render_findings",
+]

@@ -1,0 +1,90 @@
+"""ldplint command line: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/config/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.lint.config import load_config
+from repro.analysis.lint.core import all_rules, lint_paths
+from repro.analysis.lint.output import FORMATS, render_findings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "ldplint: AST static analysis enforcing the paper's security "
+            "invariants (see docs/ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.ldplint] paths)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="disable a rule id for this run (repeatable)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repository root (default: walk up from cwd to pyproject.toml)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, cls in sorted(all_rules().items()):
+            scope = ", ".join(cls.scope) if cls.scope else "all paths"
+            print(f"{rule_id}: {cls.title}  [{scope}]")
+        return 0
+    try:
+        config = load_config(Path(args.root) if args.root else None)
+    except ValueError as exc:
+        print(f"ldplint: bad configuration: {exc}", file=sys.stderr)
+        return 2
+    if args.disable:
+        config.disable = config.disable | frozenset(args.disable)
+    paths = args.paths or [
+        str(config.root / p) if config.root else p for p in config.paths
+    ]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"ldplint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths, config)
+    except SyntaxError as exc:
+        print(f"ldplint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return 2
+    print(render_findings(findings, args.format))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

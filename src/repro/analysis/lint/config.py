@@ -1,0 +1,89 @@
+"""ldplint configuration: ``[tool.ldplint]`` in ``pyproject.toml``.
+
+Recognized keys::
+
+    [tool.ldplint]
+    paths = ["src/repro"]          # default lint targets
+    exclude = []                   # logical-path prefixes to skip
+    disable = []                   # rule ids disabled repo-wide
+
+    [tool.ldplint.scopes]          # override a rule's path scope
+    RNG001 = ["src/repro/protocol", "src/repro/crypto"]
+
+Config is optional everywhere: with no ``pyproject.toml`` (or no table)
+the built-in defaults apply, so the analyzer also runs on bare fixture
+trees.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class LintConfig:
+    """Resolved ldplint settings for one run."""
+
+    #: Default targets when the CLI is given no paths.
+    paths: tuple[str, ...] = ("src/repro",)
+    #: Logical-path prefixes excluded from linting.
+    exclude: tuple[str, ...] = ()
+    #: Rule ids disabled for the whole run.
+    disable: frozenset[str] = frozenset()
+    #: Per-rule path-scope overrides (rule id -> prefixes).
+    scopes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Repository root used to compute logical paths (None = cwd-relative).
+    root: Path | None = None
+
+
+def find_root(start: Path | None = None) -> Path | None:
+    """Walk up from ``start`` (default: cwd) to the dir holding pyproject.toml."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def load_config(root: Path | None = None) -> LintConfig:
+    """Load ``[tool.ldplint]`` from the repo's pyproject.toml.
+
+    Raises:
+        ValueError: on a malformed table (wrong value types).
+    """
+    root = root if root is not None else find_root()
+    if root is None:
+        return LintConfig()
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return LintConfig(root=root)
+    with pyproject.open("rb") as fp:
+        data = tomllib.load(fp)
+    table = data.get("tool", {}).get("ldplint", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.ldplint] must be a table")
+
+    def _str_list(key: str, default: tuple[str, ...]) -> tuple[str, ...]:
+        value = table.get(key, list(default))
+        if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+            raise ValueError(f"[tool.ldplint] {key} must be a list of strings")
+        return tuple(value)
+
+    scopes_raw = table.get("scopes", {})
+    if not isinstance(scopes_raw, dict):
+        raise ValueError("[tool.ldplint.scopes] must be a table")
+    scopes: dict[str, tuple[str, ...]] = {}
+    for rule_id, prefixes in scopes_raw.items():
+        if not isinstance(prefixes, list) or not all(isinstance(p, str) for p in prefixes):
+            raise ValueError(f"[tool.ldplint.scopes] {rule_id} must be a list of strings")
+        scopes[str(rule_id)] = tuple(prefixes)
+
+    return LintConfig(
+        paths=_str_list("paths", ("src/repro",)),
+        exclude=_str_list("exclude", ()),
+        disable=frozenset(_str_list("disable", ())),
+        scopes=scopes,
+        root=root,
+    )

@@ -1,0 +1,270 @@
+"""Engine: rule registry, suppression handling, file walking.
+
+A rule is a class with an ``id``, a ``scope`` (path prefixes it applies
+to, ``None`` = everywhere) and a ``check(ctx)`` generator. Rules that
+need whole-project knowledge (e.g. KEY002's "is this attribute erased
+*anywhere*?") additionally implement ``collect(ctx)`` and ``finalize()``;
+the engine runs all ``collect`` passes before any ``finalize``.
+
+Findings carry the *logical* path — the path relative to the repository
+root — so path-scoped rules behave identically whether the engine is run
+from the repo root, from CI, or over fixture files that impersonate a
+scoped location via ``lint_source(..., logical_path=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.lint.config import LintConfig
+
+#: Per-line suppression comments: one or more rule ids after the marker,
+#: comma-separated, or the word "all" (syntax in docs/ANALYSIS.md).
+_SUPPRESS_RE = re.compile(r"#\s*ldplint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+
+class FileContext:
+    """Everything a rule needs to inspect one source file."""
+
+    def __init__(self, path: str, source: str, logical_path: str | None = None) -> None:
+        """Parse ``source``; ``logical_path`` overrides the repo-relative
+        path used for rule scoping (fixtures impersonate scoped files)."""
+        self.path = path
+        self.logical_path = (logical_path or path).replace("\\", "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self._suppressions = _parse_suppressions(source)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled on physical ``line``."""
+        rules = self._suppressions.get(line)
+        return rules is not None and ("all" in rules or rule_id in rules)
+
+    def in_scope(self, prefixes: Sequence[str] | None) -> bool:
+        """Whether this file's logical path falls under any prefix."""
+        if prefixes is None:
+            return True
+        return any(self.logical_path.startswith(p) for p in prefixes)
+
+
+def _parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map physical line number -> rule ids disabled on that line.
+
+    Tokenize-based so only real ``#`` comments count — a docstring that
+    *mentions* the suppression syntax does not suppress anything.
+    """
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match:
+                spec = match.group(1)
+                out[tok.start[0]] = {r.strip() for r in spec.split(",") if r.strip()}
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+        pass
+    return out
+
+
+class Rule:
+    """Base class for ldplint rules.
+
+    Subclasses set ``id``, ``title``, ``rationale`` and optionally
+    ``scope`` (default path prefixes; overridable via
+    ``[tool.ldplint.scopes]``). Per-file rules implement :meth:`check`;
+    project rules implement :meth:`collect` + :meth:`finalize`.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    #: Logical-path prefixes the rule applies to (None = every file).
+    scope: tuple[str, ...] | None = None
+    #: Whether the rule needs a whole-project collect/finalize pass.
+    project: bool = False
+
+    def __init__(self, config: LintConfig) -> None:
+        """Rules are instantiated once per lint run with the active config."""
+        self.config = config
+
+    def effective_scope(self) -> tuple[str, ...] | None:
+        """The path scope after config overrides."""
+        override = self.config.scopes.get(self.id)
+        if override is not None:
+            return tuple(override)
+        return self.scope
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node`` in ``ctx``'s logical path."""
+        return Finding(
+            self.id,
+            ctx.logical_path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file (per-file rules)."""
+        return iter(())
+
+    def collect(self, ctx: FileContext) -> None:
+        """Accumulate project-wide facts from one file (project rules)."""
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield findings after every file was collected (project rules)."""
+        return iter(())
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the engine registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The registered rule classes, keyed by rule id."""
+    return dict(_REGISTRY)
+
+
+def _iter_py_files(paths: Sequence[str], config: LintConfig) -> Iterator[Path]:
+    """Expand files/directories into the ordered set of .py files to lint."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for cand in candidates:
+            resolved = cand.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            logical = _logical_path(cand, config.root)
+            if any(logical.startswith(e) for e in config.exclude):
+                continue
+            yield cand
+
+
+def _logical_path(path: Path, root: Path | None) -> str:
+    """``path`` relative to the repo root when possible, POSIX separators."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def _active_rules(config: LintConfig) -> list[Rule]:
+    """Instantiate every enabled rule for this run."""
+    return [
+        cls(config)
+        for rule_id, cls in sorted(_REGISTRY.items())
+        if rule_id not in config.disable
+    ]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    logical_path: str | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (the test/fixture entry point).
+
+    Project rules see only this file, so cross-file erasure credit does
+    not apply — which is exactly what fixture tests want.
+    """
+    config = config or LintConfig()
+    ctx = FileContext(path, source, logical_path=logical_path)
+    findings: list[Finding] = []
+    for rule in _active_rules(config):
+        if not ctx.in_scope(rule.effective_scope()):
+            continue
+        if rule.project:
+            rule.collect(ctx)
+            findings.extend(rule.finalize())
+        else:
+            findings.extend(rule.check(ctx))
+    kept = [f for f in findings if not ctx.suppressed(f.rule, f.line)]
+    return sorted(kept, key=Finding.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint files/directories; returns all unsuppressed findings, sorted.
+
+    Raises:
+        SyntaxError: if a file under lint does not parse.
+    """
+    config = config or LintConfig()
+    rules = _active_rules(config)
+    contexts: list[FileContext] = []
+    for file_path in _iter_py_files(paths, config):
+        source = file_path.read_text(encoding="utf-8")
+        contexts.append(
+            FileContext(
+                str(file_path), source, logical_path=_logical_path(file_path, config.root)
+            )
+        )
+
+    findings: list[Finding] = []
+    project_rules: list[Rule] = []
+    for rule in rules:
+        if rule.project:
+            project_rules.append(rule)
+        else:
+            for ctx in contexts:
+                if ctx.in_scope(rule.effective_scope()):
+                    findings.extend(rule.check(ctx))
+    for rule in project_rules:
+        for ctx in contexts:
+            if ctx.in_scope(rule.effective_scope()):
+                rule.collect(ctx)
+        findings.extend(rule.finalize())
+
+    by_logical = {ctx.logical_path: ctx for ctx in contexts}
+    kept = []
+    for f in findings:
+        ctx = by_logical.get(f.path)
+        if ctx is not None and ctx.suppressed(f.rule, f.line):
+            continue
+        kept.append(f)
+    return sorted(kept, key=Finding.sort_key)

@@ -1,0 +1,189 @@
+"""Shared dataflow core: key-material taint + call-graph-lite.
+
+Every rule that reasons about *values* (rather than syntax alone) builds
+on two approximations:
+
+* **Assignment tracking** (:class:`KeyTaint`) — within a function, a
+  local name is *key-tainted* if it is ever assigned from a key-material
+  producer: a ``SymmetricKey`` constructor/classmethod, one of the
+  :mod:`repro.crypto.kdf` derivations, a ``.material`` read, or another
+  tainted name. Names that *look like* key material
+  (``k_m``/``kmc``/``k_v``/``*_key``) are tainted by naming convention
+  alone — the paper's own notation is load-bearing here. The analysis is
+  flow-insensitive (one pass over the function body), which over-taints
+  in pathological re-binding cases and never under-taints.
+
+* **Call-graph-lite** (:class:`ModuleIndex`) — function and method
+  definitions indexed by bare name, attribute writes and attribute
+  ``.erase()`` calls indexed by terminal attribute name. Cross-file
+  resolution is *by name, not by type*: ``st.preload.master_key.erase()``
+  in ``addition.py`` credits the ``master_key`` attribute declared in
+  ``state.py``. Name-keyed matching is deliberately generous (a lint
+  must not cry wolf); the runtime twin tests keep it honest.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+#: Names that denote key material by the paper's own notation.
+KEY_NAME_RE = re.compile(r"^(k_m|kmc|k_[a-z0-9]{1,4}|[a-z0-9_]*_key)$")
+
+#: Key-producing callables from repro.crypto (bare names; attribute calls
+#: are matched on their terminal segment).
+KEY_PRODUCERS = frozenset(
+    {
+        "SymmetricKey",
+        "generate",  # SymmetricKey.generate
+        "prf",
+        "derive_usage_key",
+        "derive_cluster_key",
+        "chain_step",
+        "refresh_key",
+        "master_derived_key",
+        "pairwise_key",
+        "hop_key",
+    }
+)
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last dotted segment of a Name/Attribute expression, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def is_key_name(name: str | None) -> bool:
+    """Whether a bare identifier denotes key material by convention."""
+    return name is not None and KEY_NAME_RE.match(name) is not None
+
+
+def is_key_producer_call(node: ast.expr) -> bool:
+    """Whether ``node`` is a call to a known key-material producer."""
+    return (
+        isinstance(node, ast.Call)
+        and terminal_name(node.func) in KEY_PRODUCERS
+    )
+
+
+class KeyTaint:
+    """Flow-insensitive key-material taint for one function (or module) body."""
+
+    def __init__(self, body_root: ast.AST) -> None:
+        """Index every assignment under ``body_root`` once, then answer
+        :meth:`is_tainted` queries; iterate to a fixpoint so taint flows
+        through chains of local aliases."""
+        self._tainted: set[str] = set()
+        assigns: list[tuple[str, ast.expr]] = []
+        for node in ast.walk(body_root):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigns.append((target.id, node.value))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    assigns.append((node.target.id, node.value))
+        changed = True
+        while changed:
+            changed = False
+            for name, value in assigns:
+                if name not in self._tainted and self.is_tainted(value):
+                    self._tainted.add(name)
+                    changed = True
+
+    def is_tainted(self, node: ast.expr) -> bool:
+        """Whether an expression may evaluate to raw key material.
+
+        Propagation is deliberately narrow at calls: a *method* of a
+        tainted object stays tainted (``key.material.hex()``), while a
+        builtin applied to one does not (``len(key)`` is just an int).
+        """
+        name = terminal_name(node)
+        if isinstance(node, ast.Name):
+            return node.id in self._tainted or is_key_name(name)
+        if isinstance(node, ast.Attribute):
+            if node.attr == "material" or is_key_name(node.attr):
+                return True
+            # Properties of a key object (``key.label``) are not material.
+            return False
+        if isinstance(node, ast.Call):
+            if is_key_producer_call(node):
+                return True
+            if isinstance(node.func, ast.Attribute):
+                return self.is_tainted(node.func.value)
+            return False
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.FormattedValue):
+            return self.is_tainted(node.value)
+        return False
+
+
+def functions_of(tree: ast.Module) -> Iterator[ast.AST]:
+    """Module body plus every (async) function, for per-scope taint passes.
+
+    The module node itself is yielded first so module-level statements get
+    a taint scope of their own.
+    """
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes owned by ``scope``, not descending into nested functions.
+
+    For a module scope this walks class bodies too (class-level statements
+    execute in the enclosing scope) but stops at function boundaries, so a
+    statement is visited under exactly one scope across a
+    :func:`functions_of` sweep.
+    """
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ModuleIndex:
+    """Call-graph-lite facts about one module, keyed by bare names."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        """Walk ``tree`` once, indexing defs, erase calls and aliases."""
+        #: Terminal attribute names on which ``.erase()`` is called, e.g.
+        #: ``st.preload.master_key.erase()`` -> ``master_key``.
+        self.erased_attrs: set[str] = set()
+        #: Local names on which ``.erase()`` is called, resolved through
+        #: one level of aliasing (``old = st.x; old.erase()`` -> ``x``).
+        self._erased_names: set[str] = set()
+        #: name -> terminal attr it aliases (``old = st.keyring.get(cid)``
+        #: does not alias an attribute; ``old = self.k_init`` does).
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Attribute):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases[target.id] = node.value.attr
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "erase"
+            ):
+                owner = node.func.value
+                if isinstance(owner, ast.Attribute):
+                    self.erased_attrs.add(owner.attr)
+                elif isinstance(owner, ast.Name):
+                    self._erased_names.add(owner.id)
+        for name in self._erased_names:
+            if name in aliases:
+                self.erased_attrs.add(aliases[name])

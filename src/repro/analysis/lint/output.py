@@ -1,0 +1,68 @@
+"""Finding renderers: human text, machine JSON, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.lint.core import Finding
+
+FORMATS = ("text", "json", "github")
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """``path:line:col: RULE message`` per finding plus a summary line."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}" for f in findings
+    ]
+    lines.append(
+        "ldplint: clean"
+        if not findings
+        else f"ldplint: {len(findings)} finding(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A JSON document: ``{"findings": [...], "count": N}``."""
+    return json.dumps(
+        {
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col + 1,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            "count": len(findings),
+        },
+        indent=2,
+    )
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow annotations (``::error file=...``)."""
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.col + 1},"
+        f"title=ldplint {f.rule}::{f.message}"
+        for f in findings
+    ]
+    if not findings:
+        lines.append("ldplint: clean")
+    return "\n".join(lines)
+
+
+def render_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render ``findings`` in one of :data:`FORMATS`.
+
+    Raises:
+        ValueError: on an unknown format name.
+    """
+    renderers = {"text": render_text, "json": render_json, "github": render_github}
+    try:
+        return renderers[fmt](findings)
+    except KeyError:
+        raise ValueError(f"unknown format {fmt!r}; choose from {FORMATS}") from None

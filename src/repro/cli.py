@@ -15,7 +15,9 @@ Commands:
   summary) as JSON Lines;
 * ``metrics`` — work with exported telemetry streams
   (``metrics summarize m.jsonl`` folds one back into the shape
-  ``SetupMetrics`` reports, see docs/TELEMETRY.md).
+  ``SetupMetrics`` reports, see docs/TELEMETRY.md);
+* ``lint`` — run ldplint, the AST static analyzer enforcing the paper's
+  security invariants over ``src/repro`` (see docs/ANALYSIS.md).
 
 All deployment commands accept ``--n``, ``--density`` and ``--seed``.
 """
@@ -297,6 +299,20 @@ def _cmd_metrics_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint.cli import main as lint_main
+
+    forwarded: list[str] = list(args.paths)
+    forwarded += ["--format", args.format]
+    for rule in args.disable:
+        forwarded += ["--disable", rule]
+    if args.root:
+        forwarded += ["--root", args.root]
+    if args.list_rules:
+        forwarded += ["--list-rules"]
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -401,6 +417,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fewer repetitions — noisier, for CI smoke runs",
     )
     bench_crypto.set_defaults(func=_cmd_bench_crypto)
+
+    lint = sub.add_parser(
+        "lint", help="ldplint: static analysis of the paper's security invariants"
+    )
+    lint.add_argument("paths", nargs="*", help="files/dirs (default: [tool.ldplint])")
+    lint.add_argument("--format", choices=("text", "json", "github"), default="text")
+    lint.add_argument("--disable", action="append", default=[], metavar="RULE")
+    lint.add_argument("--root", default=None, metavar="DIR")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
 
     metrics = sub.add_parser("metrics", help="work with exported telemetry streams")
     metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
