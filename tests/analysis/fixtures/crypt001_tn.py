@@ -1,0 +1,22 @@
+"""Fixture: CRYPT001 true negatives — constant-time and non-tag compares."""
+
+import hmac
+
+from repro.util.bytesutil import constant_time_eq
+
+
+def verify_ct(key_tag, expected_tag):
+    return constant_time_eq(key_tag, expected_tag)
+
+
+def verify_hmac(tag, expected):
+    return hmac.compare_digest(tag, expected)
+
+
+def config_compares(config, tag, tag_len):
+    # String/None comparisons are mode switches, not byte-tag checks.
+    if config.mac == "csma":
+        return True
+    if tag is None:
+        return False
+    return tag_len == 4

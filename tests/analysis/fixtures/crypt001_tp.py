@@ -1,0 +1,22 @@
+"""Fixture: CRYPT001 true positives — variable-time MAC/tag comparisons."""
+
+from repro.crypto.mac import hmac_sha256
+
+
+def verify_eq(key, message, tag):
+    expected_tag = hmac_sha256(key, message)
+    if tag == expected_tag:  # EXPECT: CRYPT001
+        return True
+    return False
+
+
+def verify_neq(received_mac, computed):
+    return received_mac != computed  # EXPECT: CRYPT001
+
+
+def verify_call(hasher, tag):
+    return hasher.digest() == tag  # EXPECT: CRYPT001
+
+
+def verify_commitment(candidate, commitment):
+    return candidate == commitment  # EXPECT: CRYPT001

@@ -1,0 +1,15 @@
+"""Fixture: CRYPT002 true negatives — counters from approved sources."""
+
+from repro.crypto.modes import ctr_encrypt, message_counter
+
+
+def encrypt_checked(cipher, plaintext):
+    return ctr_encrypt(cipher, message_counter(7), plaintext)
+
+
+def encrypt_allocated(cipher, counter_state, plaintext):
+    return ctr_encrypt(cipher, counter_state.allocate(), plaintext)
+
+
+def encrypt_threaded(cipher, counter, plaintext):
+    return ctr_encrypt(cipher, counter, plaintext)

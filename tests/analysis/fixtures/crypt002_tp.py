@@ -1,0 +1,11 @@
+"""Fixture: CRYPT002 true positives — literal CTR counters."""
+
+from repro.crypto.modes import ctr_decrypt, ctr_encrypt
+
+
+def encrypt_with_literal(cipher, plaintext):
+    return ctr_encrypt(cipher, 7, plaintext)  # EXPECT: CRYPT002
+
+
+def decrypt_with_keyword_literal(cipher, ciphertext):
+    return ctr_decrypt(cipher, counter=42, ciphertext=ciphertext)  # EXPECT: CRYPT002

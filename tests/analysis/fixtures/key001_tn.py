@@ -1,0 +1,20 @@
+"""Fixture: KEY001 true negatives — benign strings/logs near key code."""
+
+KEY_LEN = 16
+
+
+def benign(material, trace, logger, nid):
+    if len(material) != KEY_LEN:
+        raise ValueError(f"key must be {KEY_LEN} bytes, got {len(material)}")
+    label = f"K[{nid}]"
+    trace.count("tx.hello")
+    trace.record(0.0, "join", node=nid)
+    logger.info("setup complete for node %d", nid)
+    print(f"deployed node {nid} with label {label}")
+    return label
+
+
+def benign_key_properties(node_key):
+    # Metadata of a key object (label, erased flag) is not key material.
+    print(node_key.label)
+    return f"erased={node_key.erased}"

@@ -1,0 +1,27 @@
+"""Fixture: KEY001 true positives — key material reaching leak sinks."""
+
+from repro.crypto.keys import SymmetricKey
+from repro.util.bytesutil import hexstr
+
+
+def leak_to_sinks(logger, trace):
+    master_key = SymmetricKey.generate()
+    print(master_key.material)  # EXPECT: KEY001
+    logger.debug(master_key)  # EXPECT: KEY001
+    banner = f"booted with {master_key.material}"  # EXPECT: KEY001
+    trace.record(0.0, "setup", key_bytes=master_key.material)  # EXPECT: KEY001
+    return banner
+
+
+def leak_via_alias():
+    derived = SymmetricKey.generate().material
+    copied = derived
+    print(copied)  # EXPECT: KEY001
+
+
+def leak_method_chain(k_m):
+    print(k_m.material.hex())  # EXPECT: KEY001
+
+
+def leak_helper(cluster_key):
+    return hexstr(cluster_key)  # EXPECT: KEY001

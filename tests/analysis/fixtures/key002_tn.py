@@ -1,0 +1,35 @@
+"""Fixture: KEY002 true negatives — every held key has a reachable erase.
+
+The third class shows the deliberate name-keyed "call-graph-lite"
+credit: an erase call on ``handover_key`` anywhere in the project counts
+for every class holding an attribute of that name (the engine cannot
+resolve types across files; the runtime erasure tests keep this honest).
+"""
+
+from repro.crypto.keys import SymmetricKey
+
+
+class TidyAgent:
+    def __init__(self, rng):
+        self.setup_key = SymmetricKey.generate(rng)
+
+    def finish(self):
+        self.setup_key.erase()
+
+
+class AliasEraser:
+    def __init__(self, rng):
+        self.join_key = SymmetricKey.generate(rng)
+
+    def finish(self):
+        loaded = self.join_key
+        loaded.erase()
+
+
+class CrossCreditHolder:
+    def __init__(self, rng):
+        self.handover_key = SymmetricKey.generate(rng)
+
+
+def cleanup(state):
+    state.preload.handover_key.erase()

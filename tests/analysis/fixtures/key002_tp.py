@@ -1,0 +1,18 @@
+"""Fixture: KEY002 true positives — held keys that are never erased."""
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import SymmetricKey
+
+
+@dataclass
+class ForgetfulPreload:
+    setup_key: SymmetricKey  # EXPECT: KEY002
+
+
+class ForgetfulAgent:
+    def __init__(self, rng):
+        self.session_key = SymmetricKey.generate(rng)  # EXPECT: KEY002
+
+    def run(self):
+        return self.session_key

@@ -1,0 +1,13 @@
+"""Fixture: RNG001 true negatives — approved randomness sources."""
+
+import os
+
+import numpy as np
+
+
+def deployment_key():
+    return os.urandom(16)
+
+
+def seeded_jitter(rng: np.random.Generator):
+    return float(rng.uniform(0.0, 1.0))

@@ -1,0 +1,8 @@
+"""Fixture: RNG001 true positives (linted as protocol-scoped code)."""
+
+import random  # EXPECT: RNG001
+from random import choice  # EXPECT: RNG001
+
+
+def jitter():
+    return random.random() + (choice([1, 2]) if choice else 0)

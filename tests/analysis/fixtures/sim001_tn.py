@@ -1,0 +1,15 @@
+"""Fixture: SIM001 true negatives — event-clock reads only."""
+
+import time
+
+
+def schedule_next(node, period_s):
+    # The event clock is the only time sim/protocol code may read.
+    deadline = node.now() + period_s
+    node.schedule(deadline, lambda: None)
+    return deadline
+
+
+def throttle(pace_s):
+    # sleep() paces execution but never feeds a timestamp into the model.
+    time.sleep(pace_s)

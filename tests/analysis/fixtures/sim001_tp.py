@@ -1,0 +1,11 @@
+"""Fixture: SIM001 true positives (linted as sim-scoped code)."""
+
+import time
+from datetime import datetime
+from time import time as now  # EXPECT: SIM001
+
+
+def stamp_event(event):
+    event.wall = time.time()  # EXPECT: SIM001
+    event.created = datetime.now()  # EXPECT: SIM001
+    return now()

@@ -1,0 +1,16 @@
+"""Fixture: per-line suppressions silence exactly the named rule."""
+
+from repro.crypto.keys import SymmetricKey
+
+
+def suppressed_leaks(debug_key: SymmetricKey):
+    # Justification comments accompany real suppressions; these silence
+    # deliberate violations to exercise the engine.
+    print(debug_key.material)  # ldplint: disable=KEY001
+    print(debug_key.material)  # ldplint: disable=all
+    print(debug_key.material)  # EXPECT: KEY001
+
+
+def wrong_rule_suppressed(tag, expected_tag):
+    # A disable for a different rule must not silence CRYPT001.
+    return tag == expected_tag  # ldplint: disable=KEY001  # EXPECT: CRYPT001

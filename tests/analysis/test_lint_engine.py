@@ -1,0 +1,114 @@
+"""Engine-level tests: suppressions, config, outputs, registry."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    LintConfig,
+    all_rules,
+    lint_paths,
+    lint_source,
+    load_config,
+    render_findings,
+)
+from repro.analysis.lint.core import Finding
+
+
+LEAKY = (
+    "def leak(master_key):\n"
+    "    print(master_key)\n"
+)
+
+
+def test_finding_fields_and_order():
+    findings = lint_source(LEAKY, "leak.py")
+    assert len(findings) == 1
+    f = findings[0]
+    assert (f.rule, f.path, f.line) == ("KEY001", "leak.py", 2)
+    assert "print" in f.message
+
+
+def test_line_suppression_silences_only_that_line():
+    suppressed = LEAKY.replace(
+        "print(master_key)", "print(master_key)  # ldplint: disable=KEY001"
+    )
+    assert lint_source(suppressed, "leak.py") == []
+    assert lint_source(LEAKY, "leak.py") != []
+
+
+def test_disable_all_suppression():
+    suppressed = LEAKY.replace(
+        "print(master_key)", "print(master_key)  # ldplint: disable=all"
+    )
+    assert lint_source(suppressed, "leak.py") == []
+
+
+def test_config_disable_turns_rule_off():
+    config = LintConfig(disable=frozenset({"KEY001"}))
+    assert lint_source(LEAKY, "leak.py", config=config) == []
+
+
+def test_scope_override_via_config():
+    config = LintConfig(scopes={"KEY001": ("src/elsewhere",)})
+    assert lint_source(LEAKY, "leak.py", config=config) == []
+
+
+def test_registry_has_the_six_shipped_rules():
+    assert set(all_rules()) == {
+        "KEY001",
+        "KEY002",
+        "CRYPT001",
+        "CRYPT002",
+        "RNG001",
+        "SIM001",
+    }
+
+
+def test_load_config_reads_ldplint_table(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.ldplint]\n"
+        'paths = ["pkg"]\n'
+        'exclude = ["pkg/generated"]\n'
+        'disable = ["SIM001"]\n'
+        "[tool.ldplint.scopes]\n"
+        'RNG001 = ["pkg/core"]\n',
+        encoding="utf-8",
+    )
+    config = load_config(tmp_path)
+    assert config.paths == ("pkg",)
+    assert config.exclude == ("pkg/generated",)
+    assert config.disable == frozenset({"SIM001"})
+    assert config.scopes == {"RNG001": ("pkg/core",)}
+    assert config.root == tmp_path
+
+
+def test_load_config_rejects_bad_types(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.ldplint]\npaths = 3\n", encoding="utf-8"
+    )
+    with pytest.raises(ValueError):
+        load_config(tmp_path)
+
+
+def test_exclude_prefix_skips_files(tmp_path):
+    bad = tmp_path / "generated"
+    bad.mkdir()
+    (bad / "leak.py").write_text(LEAKY, encoding="utf-8")
+    config = LintConfig(root=tmp_path, exclude=("generated",))
+    assert lint_paths([str(tmp_path)], config) == []
+    assert lint_paths([str(tmp_path)], LintConfig(root=tmp_path)) != []
+
+
+def test_render_formats():
+    findings = [Finding("KEY001", "a.py", 3, 0, "key material passed to print()")]
+    text = render_findings(findings, "text")
+    assert "a.py:3:1: KEY001" in text and "1 finding(s)" in text
+    payload = json.loads(render_findings(findings, "json"))
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "KEY001"
+    github = render_findings(findings, "github")
+    assert github.startswith("::error file=a.py,line=3,")
+    assert render_findings([], "text").endswith("clean")
+    with pytest.raises(ValueError):
+        render_findings(findings, "sarif")

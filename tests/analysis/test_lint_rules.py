@@ -1,0 +1,84 @@
+"""Fixture-driven rule tests: every rule proves >=1 TP and >=1 TN.
+
+Each fixture file under ``fixtures/`` carries ``# EXPECT: RULEID``
+comments on the exact lines where findings must appear; the test lints
+the fixture (impersonating a scoped path where the rule demands one) and
+requires the finding set to match the EXPECT set exactly — so both
+missed violations (false negatives) and extra findings (false
+positives) fail.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+EXPECT_RE = re.compile(r"#\s*EXPECT:\s*([A-Z0-9]+)")
+
+#: Path-scoped rules get fixtures lint-located inside their scope.
+LOGICAL_PATHS = {
+    "rng001_tp": "src/repro/protocol/_fixture.py",
+    "rng001_tn": "src/repro/protocol/_fixture.py",
+    "sim001_tp": "src/repro/sim/_fixture.py",
+    "sim001_tn": "src/repro/sim/_fixture.py",
+}
+DEFAULT_LOGICAL = "src/repro/_fixture.py"
+
+
+def expected_set(source: str) -> set[tuple[str, int]]:
+    expected = set()
+    for lineno, line in enumerate(source.splitlines(), 1):
+        for match in EXPECT_RE.finditer(line):
+            expected.add((match.group(1), lineno))
+    return expected
+
+
+@pytest.mark.parametrize(
+    "fixture", sorted(FIXTURES.glob("*.py")), ids=lambda p: p.stem
+)
+def test_fixture_findings_match_expectations(fixture):
+    source = fixture.read_text(encoding="utf-8")
+    logical = LOGICAL_PATHS.get(fixture.stem, DEFAULT_LOGICAL)
+    findings = lint_source(source, str(fixture), logical_path=logical)
+    assert {(f.rule, f.line) for f in findings} == expected_set(source)
+
+
+def test_true_positive_and_negative_fixtures_exist_per_rule():
+    """The acceptance criterion: >=1 TP and >=1 TN fixture per rule."""
+    for rule in ("key001", "key002", "crypt001", "crypt002", "rng001", "sim001"):
+        tp = (FIXTURES / f"{rule}_tp.py").read_text(encoding="utf-8")
+        assert expected_set(tp), f"{rule}_tp.py must expect at least one finding"
+        tn = (FIXTURES / f"{rule}_tn.py").read_text(encoding="utf-8")
+        assert not expected_set(tn), f"{rule}_tn.py must expect zero findings"
+
+
+def test_scoped_rules_ignore_out_of_scope_files():
+    """An RNG001 violation outside protocol/crypto paths is not flagged."""
+    source = (FIXTURES / "rng001_tp.py").read_text(encoding="utf-8")
+    findings = lint_source(source, "rng001_tp.py", logical_path="src/repro/runtime/x.py")
+    assert findings == []
+
+
+def test_key002_sees_cross_file_erase_credit(tmp_path):
+    """collect/finalize: an erase in one file credits a hold in another."""
+    from repro.analysis.lint import LintConfig, lint_paths
+
+    holder = tmp_path / "holder.py"
+    holder.write_text(
+        "from repro.crypto.keys import SymmetricKey\n"
+        "class Holder:\n"
+        "    def __init__(self, rng):\n"
+        "        self.transfer_key = SymmetricKey.generate(rng)\n",
+        encoding="utf-8",
+    )
+    findings = lint_paths([str(tmp_path)], LintConfig(root=tmp_path))
+    assert [(f.rule, f.path) for f in findings] == [("KEY002", "holder.py")]
+
+    eraser = tmp_path / "eraser.py"
+    eraser.write_text(
+        "def shutdown(agent):\n    agent.transfer_key.erase()\n", encoding="utf-8"
+    )
+    assert lint_paths([str(tmp_path)], LintConfig(root=tmp_path)) == []
