@@ -37,6 +37,23 @@ MAX_COUNTER = 1 << 48
 _MAX_BLOCKS = 1 << 16
 
 
+def message_counter(value: int) -> int:
+    """Validate and bless a fixed message counter (the approved constructor).
+
+    Protocol code allocates counters from
+    :class:`repro.protocol.forwarding.CounterState`; benchmarks, tests and
+    tools that genuinely need a *fixed* counter construct it here so the
+    range check runs and static analysis (ldplint CRYPT002) can tell a
+    deliberate fixed counter from an accidental keystream-reusing literal.
+
+    Raises:
+        ValueError: if ``value`` is outside ``[0, 2**48)``.
+    """
+    if not 0 <= value < MAX_COUNTER:
+        raise ValueError(f"counter must be in [0, 2**48), got {value}")
+    return value
+
+
 def _keystream(
     cipher: BlockCipher, counter: int, length: int, backend: str | None = None
 ) -> bytes:

@@ -66,3 +66,15 @@ def test_adjacent_counters_do_not_overlap():
     ks_k = ctr_encrypt(c, 7, long_zeroes)
     ks_k1 = ctr_encrypt(c, 8, long_zeroes)
     assert ks_k[-8:] != ks_k1[:8]
+
+
+def test_message_counter_validates_and_passes_through():
+    from repro.crypto.modes import message_counter
+
+    assert message_counter(0) == 0
+    assert message_counter(7) == 7
+    assert message_counter(MAX_COUNTER - 1) == MAX_COUNTER - 1
+    with pytest.raises(ValueError):
+        message_counter(-1)
+    with pytest.raises(ValueError):
+        message_counter(MAX_COUNTER)
