@@ -36,8 +36,8 @@ class Preload:
     erased after joining.
     """
 
-    node_key: SymmetricKey
-    cluster_key: SymmetricKey
+    node_key: SymmetricKey  # ldplint: disable=KEY002 -- K_i is shared with the BS for the node's lifetime (Sec. IV-A); only K_m/K_MC are erased
+    cluster_key: SymmetricKey  # ldplint: disable=KEY002 -- the candidate K_ci becomes the live cluster key on heads; erasure happens via KeyRing.remove on revocation
     master_key: SymmetricKey
     chain_commitment: bytes
     #: Chain position of the commitment (0 for nodes present at rollout;
