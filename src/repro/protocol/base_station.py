@@ -44,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class KeyRegistry:
     """The pre-deployment key database held by the base station."""
 
-    node_keys: dict[int, SymmetricKey]
+    node_keys: dict[int, SymmetricKey]  # ldplint: disable=KEY002 -- the BS key database outlives every node (Sec. IV-A); the BS is trusted/uncapturable in the model
     kmc: SymmetricKey
     chain: KeyChain
 
