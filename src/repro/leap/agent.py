@@ -65,14 +65,14 @@ class LeapAgent:
         self.discovery_window_s = discovery_window_s
         self.k_init = k_init
         #: Retained for the network's lifetime (LEAP's later-joiner path).
-        self.k_v = SymmetricKey(
+        self.k_v = SymmetricKey(  # ldplint: disable=KEY002 -- LEAP keeps K_v so later joiners can authenticate; this retention IS the Sec. III weakness we reproduce
             master_derived_key(k_init.material, node.id), label=f"K_v[{node.id}]"
         )
         #: Pairwise keys by neighbor id — grows with every HELLO heard,
         #: forged or not (the Sec. III weakness).
         self.pairwise: dict[int, bytes] = {}
         #: Own cluster key, generated after discovery.
-        self.cluster_key = SymmetricKey.generate(timer_rng, label=f"Kc[{node.id}]")
+        self.cluster_key = SymmetricKey.generate(timer_rng, label=f"Kc[{node.id}]")  # ldplint: disable=KEY002 -- LEAP cluster keys live for the deployment; LEAP has no erase-after-setup phase
         #: Neighbors' cluster keys, received over pairwise links.
         self.neighbor_cluster_keys: dict[int, bytes] = {}
         self.bootstrapped = False
