@@ -10,7 +10,9 @@ a :class:`KeyRing` that counts exactly the keys a real mote would hold
 
 from __future__ import annotations
 
+import hashlib
 import os
+from typing import Any
 
 from repro.crypto.kdf import KEY_LEN
 
@@ -36,7 +38,7 @@ class SymmetricKey:
         self.label = label
 
     @classmethod
-    def generate(cls, rng=None, label: str = "") -> "SymmetricKey":
+    def generate(cls, rng: Any | None = None, label: str = "") -> "SymmetricKey":
         """Fresh random key; ``rng`` (numpy Generator) makes it reproducible."""
         if rng is None:
             material = os.urandom(KEY_LEN)
@@ -74,9 +76,24 @@ class SymmetricKey:
     def __hash__(self) -> int:  # pragma: no cover - keys are not dict keys
         raise TypeError("SymmetricKey is unhashable; compare material explicitly")
 
+    def fingerprint(self) -> str:
+        """An 8-hex-char SHA-256 prefix naming the key without revealing it.
+
+        Safe for logs and diagnostics: inverting 32 bits of a preimage-
+        resistant hash of a 128-bit key is hopeless, but equal keys get
+        equal fingerprints so operators can correlate them.
+
+        Raises:
+            KeyErasedError: after :meth:`erase`.
+        """
+        return hashlib.sha256(self.material).hexdigest()[:8]
+
     def __repr__(self) -> str:
-        state = "erased" if self.erased else f"{len(self._material)}B"
-        return f"SymmetricKey({self.label!r}, {state})"
+        # Redacted by design: length + fingerprint only, never material.
+        material = self._material
+        if material is None:
+            return f"SymmetricKey({self.label!r}, erased)"
+        return f"SymmetricKey({self.label!r}, {len(material)}B, fp={self.fingerprint()})"
 
 
 class KeyRing:

@@ -100,3 +100,39 @@ class TestKeyRing:
         ring.store(1, newer)
         assert ring.get(1) is newer
         assert len(ring) == 1
+
+
+class TestRedaction:
+    """repr/str never expose key material (satellite of ldplint's KEY001)."""
+
+    def test_repr_shows_fingerprint_not_material(self):
+        key = SymmetricKey(bytes(range(16)), label="K_i[3]")
+        r = repr(key)
+        assert "K_i[3]" in r
+        assert "fp=" in r
+        assert key.fingerprint() in r
+        assert key.material.hex() not in r
+        assert repr(key.material) not in r
+
+    def test_str_is_equally_redacted(self):
+        key = SymmetricKey(bytes(range(16)))
+        assert key.material.hex() not in str(key)
+
+    def test_repr_of_erased_key(self):
+        key = SymmetricKey(bytes(16), label="K_m")
+        key.erase()
+        assert repr(key) == "SymmetricKey('K_m', erased)"
+
+    def test_fingerprint_correlates_equal_keys(self):
+        a = SymmetricKey(bytes(16), label="a")
+        b = SymmetricKey(bytes(16), label="b")
+        c = SymmetricKey(bytes([7]) * 16)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+        assert len(a.fingerprint()) == 8
+
+    def test_fingerprint_raises_after_erase(self):
+        key = SymmetricKey(bytes(16))
+        key.erase()
+        with pytest.raises(KeyErasedError):
+            key.fingerprint()
