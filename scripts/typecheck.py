@@ -63,7 +63,7 @@ def main(argv: list[str] | None = None) -> int:
     modules = baseline_modules(REPO_ROOT / "pyproject.toml")
     count = len(modules)
     print(f"mypy ignore baseline: {count} modules (first generated: {FIRST_BASELINE})")
-    if count > FIRST_BASELINE:
+    if count >= FIRST_BASELINE:
         print(
             "error: the baseline is a ratchet and may only shrink; "
             f"{count} >= {FIRST_BASELINE}. Annotate modules, don't add entries.",
