@@ -16,8 +16,15 @@ Usage::
 Both crypto payloads (``benchmark: crypto_kernels``; rows keyed by
 (cipher, blocks), every ``*_per_s`` field compared) and runtime payloads
 (``benchmark: runtime_setup_throughput``; rows keyed by (transport, n),
-``events_per_s`` compared) are understood. Rows present in only one file
-are reported but never fail the gate — sweeps may grow between PRs.
+``events_per_s`` compared) are understood.
+
+A row or rate field present in only one payload is a *mismatch*: it
+means a bench was renamed, added or dropped without updating the
+committed baseline, and silently skipping it would let a renamed key
+sail through the gate unmeasured. Mismatches exit with the distinct
+code 4 (regressions still dominate with exit 1) so CI can tell "got
+slower" from "stopped comparing". Pass ``--allow-missing`` to downgrade
+mismatches to notes when a sweep legitimately grows mid-PR.
 """
 
 from __future__ import annotations
@@ -26,6 +33,11 @@ import argparse
 import json
 import sys
 from typing import Iterator
+
+#: Exit code for "a metric key exists in only one payload" — distinct
+#: from 1 (regression) and 2 (argparse usage error) so CI logs separate
+#: "got slower" from "stopped comparing".
+EXIT_KEY_MISMATCH = 4
 
 
 def _rows(payload: dict) -> dict[tuple, dict]:
@@ -52,21 +64,27 @@ def _rate_fields(row: dict) -> Iterator[str]:
             yield field
 
 
-def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
-    """All regression messages; empty when the gate passes."""
+def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list[str], list[str]]:
+    """``(regressions, mismatches)``; both empty when the gate passes.
+
+    Regressions are rates below the tolerance floor. Mismatches are rows
+    or rate fields present in only one payload — a renamed or dropped
+    metric key that would otherwise escape the gate unmeasured.
+    """
     base_rows = _rows(baseline)
     fresh_rows = _rows(fresh)
     regressions: list[str] = []
+    mismatches: list[str] = []
     for key, base_row in sorted(base_rows.items(), key=repr):
         fresh_row = fresh_rows.get(key)
         if fresh_row is None:
-            print(f"note: {key} in baseline only (skipped)")
+            mismatches.append(f"{key}: row exists in baseline only")
             continue
         for field in _rate_fields(base_row):
             base_val = base_row[field]
             fresh_val = fresh_row.get(field)
             if fresh_val is None:
-                print(f"note: {key}.{field} missing from fresh run (skipped)")
+                mismatches.append(f"{key}.{field}: metric exists in baseline only")
                 continue
             floor = base_val * (1.0 - tolerance)
             if fresh_val < floor:
@@ -74,9 +92,12 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
                     f"{key} {field}: {fresh_val:,.1f} < {floor:,.1f} "
                     f"(baseline {base_val:,.1f}, tolerance {tolerance:.0%})"
                 )
+        for field in _rate_fields(fresh_row):
+            if field not in base_row:
+                mismatches.append(f"{key}.{field}: metric exists in fresh run only")
     for key in sorted(set(fresh_rows) - set(base_rows), key=repr):
-        print(f"note: {key} in fresh run only (skipped)")
-    return regressions
+        mismatches.append(f"{key}: row exists in fresh run only")
+    return regressions, mismatches
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,6 +111,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.5,
         help="allowed fractional slowdown before failing (default: 0.5)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="report one-sided rows/metrics as notes instead of failing "
+        "(for PRs that legitimately grow a sweep)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
@@ -97,12 +124,24 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.load(fp)
     with open(args.fresh, encoding="utf-8") as fp:
         fresh = json.load(fp)
-    regressions = compare(baseline, fresh, args.tolerance)
+    regressions, mismatches = compare(baseline, fresh, args.tolerance)
+    if mismatches:
+        label = "note" if args.allow_missing else "MISMATCH"
+        print(f"{label}: {len(mismatches)} metric key(s) present in only one payload:")
+        for message in mismatches:
+            print(f"  {message}")
+        if not args.allow_missing:
+            print(
+                "A renamed/dropped bench key cannot be gated; regenerate the "
+                "committed baseline or pass --allow-missing."
+            )
     if regressions:
         print(f"\nFAIL: {len(regressions)} regression(s) beyond tolerance:")
         for message in regressions:
             print(f"  {message}")
         return 1
+    if mismatches and not args.allow_missing:
+        return EXIT_KEY_MISMATCH
     print(f"\nOK: {len(_rows(baseline))} baseline rows within tolerance")
     return 0
 

@@ -42,34 +42,51 @@ def _runtime_payload(rate: float) -> dict:
 
 
 def test_identical_payloads_pass():
-    assert bench_compare.compare(_crypto_payload(2e6), _crypto_payload(2e6), 0.5) == []
+    assert bench_compare.compare(
+        _crypto_payload(2e6), _crypto_payload(2e6), 0.5
+    ) == ([], [])
 
 
 def test_within_tolerance_passes():
     base, fresh = _crypto_payload(2e6), _crypto_payload(1.1e6)  # -45%
-    assert bench_compare.compare(base, fresh, 0.5) == []
+    assert bench_compare.compare(base, fresh, 0.5) == ([], [])
 
 
 def test_regression_beyond_tolerance_fails():
     base, fresh = _crypto_payload(2e6), _crypto_payload(0.9e6)  # -55%
-    regressions = bench_compare.compare(base, fresh, 0.5)
+    regressions, mismatches = bench_compare.compare(base, fresh, 0.5)
     assert len(regressions) == 1
     assert "vector_blocks_per_s" in regressions[0]
+    assert mismatches == []
 
 
 def test_runtime_payloads_understood():
     base, fresh = _runtime_payload(30_000.0), _runtime_payload(10_000.0)
-    regressions = bench_compare.compare(base, fresh, 0.5)
+    regressions, mismatches = bench_compare.compare(base, fresh, 0.5)
     assert len(regressions) == 1
     assert "events_per_s" in regressions[0]
+    assert mismatches == []
 
 
-def test_rows_missing_from_fresh_are_skipped(capsys):
+def test_row_missing_from_fresh_is_a_mismatch():
     base = _crypto_payload(2e6)
     fresh = _crypto_payload(2e6)
     fresh["results"] = []
-    assert bench_compare.compare(base, fresh, 0.5) == []
-    assert "baseline only" in capsys.readouterr().out
+    regressions, mismatches = bench_compare.compare(base, fresh, 0.5)
+    assert regressions == []
+    assert len(mismatches) == 1
+    assert "baseline only" in mismatches[0]
+
+
+def test_renamed_metric_key_is_a_mismatch_on_both_sides():
+    base = _crypto_payload(2e6)
+    fresh = _crypto_payload(2e6)
+    row = fresh["results"][0]
+    row["simd_blocks_per_s"] = row.pop("vector_blocks_per_s")
+    regressions, mismatches = bench_compare.compare(base, fresh, 0.5)
+    assert regressions == []
+    assert any("vector_blocks_per_s" in m and "baseline only" in m for m in mismatches)
+    assert any("simd_blocks_per_s" in m and "fresh run only" in m for m in mismatches)
 
 
 def test_unknown_payload_kind_rejected():
@@ -86,6 +103,37 @@ def test_main_exit_codes(tmp_path):
     assert bench_compare.main([str(base), str(fresh), "--tolerance", "0.5"]) == 1
 
 
+def test_main_mismatch_exit_code_and_message(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    payload = _crypto_payload(2e6)
+    base.write_text(json.dumps(payload))
+    renamed = _crypto_payload(2e6)
+    row = renamed["results"][0]
+    row["simd_blocks_per_s"] = row.pop("vector_blocks_per_s")
+    fresh.write_text(json.dumps(renamed))
+    code = bench_compare.main([str(base), str(fresh), "--tolerance", "0.5"])
+    assert code == bench_compare.EXIT_KEY_MISMATCH == 4
+    out = capsys.readouterr().out
+    assert "MISMATCH" in out
+    assert "only one payload" in out
+    # --allow-missing downgrades the mismatch to a note.
+    code = bench_compare.main(
+        [str(base), str(fresh), "--tolerance", "0.5", "--allow-missing"]
+    )
+    assert code == 0
+
+
+def test_regression_dominates_mismatch(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_crypto_payload(2e6)))
+    slow = _crypto_payload(0.5e6)
+    slow["results"][0]["extra_per_s"] = 1.0
+    fresh.write_text(json.dumps(slow))
+    assert bench_compare.main([str(base), str(fresh), "--tolerance", "0.5"]) == 1
+
+
 def test_committed_baselines_are_loadable():
     """The committed BENCH jsons must stay parseable by the gate."""
     repo = Path(__file__).parent.parent
@@ -93,4 +141,4 @@ def test_committed_baselines_are_loadable():
         payload = json.loads((repo / name).read_text())
         rows = bench_compare._rows(payload)
         assert rows, f"{name} produced no comparable rows"
-        assert bench_compare.compare(payload, payload, 0.0) == []
+        assert bench_compare.compare(payload, payload, 0.0) == ([], [])
