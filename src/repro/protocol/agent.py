@@ -182,7 +182,6 @@ class ProtocolAgent:
         is no more need for a hierarchical structure." (Sec. IV-B.1)
         """
         st = self.state
-        print(f"node {st.node_id} erasing K_m={st.preload.master_key.material.hex()}")
         st.preload.master_key.erase()
         if st.role is Role.HEAD:
             st.role = Role.MEMBER
