@@ -1,11 +1,13 @@
-"""Runtime throughput: key-setup wall time, sim vs loopback.
+"""Runtime throughput: key-setup wall time, sim vs loopback vs faulted.
 
 The loopback transport re-implements the simulator's calendar queue
 without the radio/energy/CSMA bookkeeping, so it should run key setup at
 least in the same ballpark. This benchmark times a full ``deploy_live``
-key setup on both backends at two network sizes and writes the numbers
-to ``BENCH_runtime.json`` at the repo root — the machine-readable perf
-trajectory the next optimization PR diffs against.
+key setup on both backends at two network sizes — plus a loopback run
+under the chaos acceptance fault plan with setup re-announcement on, to
+price the fault-injection decorator and the reliability extension — and
+writes the numbers to ``BENCH_runtime.json`` at the repo root: the
+machine-readable perf trajectory the next optimization PR diffs against.
 """
 
 from __future__ import annotations
@@ -16,32 +18,49 @@ from pathlib import Path
 
 import pytest
 
+from repro.protocol.config import ProtocolConfig
 from repro.runtime import deploy_live
+from repro.runtime.faults import FaultPlan, LinkFaults
 
 BENCH_PATH = Path(__file__).parent.parent / "BENCH_runtime.json"
 
 SIZES = (100, 400)
 DENSITY = 10.0
 SEED = 0
+VARIANTS = ("sim", "loopback", "loopback+faults")
 
 _results: dict[str, dict] = {}
 
 
 def _events_executed(deployed) -> int:
     transport = deployed.network.transport
+    transport = getattr(transport, "inner", transport)  # unwrap fault decorator
     if transport.name == "sim":
         return transport._network.sim.events_executed
     return transport.events_executed
 
 
-def _run_once(transport: str, n: int) -> dict:
+def _run_once(variant: str, n: int) -> dict:
+    kwargs: dict = {}
+    transport = variant
+    if variant == "loopback+faults":
+        transport = "loopback"
+        kwargs["fault_plan"] = FaultPlan(
+            seed=SEED,
+            defaults=LinkFaults(drop=0.15, duplicate=0.05, reorder=0.05),
+        )
+        kwargs["config"] = ProtocolConfig(
+            hop_ack_enabled=True, setup_reannounce_count=2, settle_margin_s=3.0
+        )
     start = time.perf_counter()
-    deployed, metrics = deploy_live(n, DENSITY, seed=SEED, transport=transport)
+    deployed, metrics = deploy_live(
+        n, DENSITY, seed=SEED, transport=transport, **kwargs
+    )
     wall_s = time.perf_counter() - start
     events = _events_executed(deployed)
     return {
         "n": n,
-        "transport": transport,
+        "transport": variant,
         "setup_wall_s": round(wall_s, 4),
         "events_executed": events,
         "events_per_s": round(events / wall_s, 1),
@@ -50,7 +69,7 @@ def _run_once(transport: str, n: int) -> dict:
     }
 
 
-@pytest.mark.parametrize("transport", ["sim", "loopback"])
+@pytest.mark.parametrize("transport", VARIANTS)
 @pytest.mark.parametrize("n", SIZES)
 def test_setup_throughput(transport, n):
     result = _run_once(transport, n)
@@ -61,9 +80,10 @@ def test_setup_throughput(transport, n):
 
 def test_write_bench_json():
     """Runs last (file order): persist everything the matrix measured."""
-    assert len(_results) == 2 * len(SIZES), "matrix must run before the writer"
+    assert len(_results) == len(VARIANTS) * len(SIZES), "matrix must run before the writer"
     # Loopback must reproduce the sim's cluster structure at every size —
     # a throughput number for a *different* computation would be noise.
+    # (The faulted variant legitimately diverges: 15% setup loss.)
     for n in SIZES:
         assert _results[f"sim_n{n}"]["clusters"] == _results[f"loopback_n{n}"]["clusters"]
     payload = {

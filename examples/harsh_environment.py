@@ -12,12 +12,17 @@ shows which guarantees survive:
   per-link loss);
 * a periodic hash refresh keeps running (it needs no radio at all).
 
+Part two repeats the loss sweep on the *live* loopback runtime with the
+fault-injection layer standing in for the bad channel, and shows what
+the opt-in hop-by-hop reliability extension (custody ACKs +
+retransmission, setup re-announcement) buys back at each loss rate.
+
 Run:  python examples/harsh_environment.py
 """
 
-from repro import SecureSensorNetwork
 from repro.protocol.metrics import validate_clusters
 from repro.protocol.setup import run_key_setup
+from repro.runtime.chaos import ChaosScenario, run_chaos
 from repro.sim.network import Network
 from repro.sim.radio import RadioConfig
 
@@ -52,6 +57,19 @@ def run_field(loss: float) -> None:
         f"delivery={got}/{len(sources)}"
     )
 
+def run_live_sweep(loss: float) -> None:
+    """One loss rate on the live loopback runtime, with and without retx."""
+    base = dict(seed=21, n=60, density=10.0, drop=loss, duplicate=0.05,
+                reorder=0.05, rounds=2, settle_s=8.0)
+    with_retx = run_chaos(ChaosScenario(**base))
+    without = run_chaos(ChaosScenario(retransmits=False, **base))
+    print(
+        f"loss={loss:4.0%}  bare={without.delivery_ratio:7.2%}  "
+        f"with retransmits={with_retx.delivery_ratio:7.2%}  "
+        f"(retx sent={with_retx.counter('net.retx.sent'):3d}, "
+        f"giveups={with_retx.counter('forward.giveup'):2d})"
+    )
+
 def main() -> None:
     print("300 nodes, density 12, CSMA MAC + collision modeling\n")
     for loss in (0.0, 0.05, 0.15, 0.30):
@@ -59,6 +77,17 @@ def main() -> None:
     print(
         "\nsetup stays structurally sound at every loss rate; delivery"
         "\ndegrades gracefully thanks to redundant downhill forwarders."
+    )
+
+    print(
+        "\nlive loopback runtime, 60 nodes: injected loss + duplication +"
+        "\nreordering (FaultPlan), hop-by-hop reliability off vs on\n"
+    )
+    for loss in (0.0, 0.05, 0.15, 0.30):
+        run_live_sweep(loss)
+    print(
+        "\nthe custody-ACK/retransmit layer holds delivery near 100% at"
+        "\nloss rates where the bare protocol visibly degrades."
     )
 
 if __name__ == "__main__":

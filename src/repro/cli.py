@@ -13,6 +13,10 @@ Commands:
   print the gateway's JSON status snapshot; ``--metrics-out m.jsonl``
   additionally streams telemetry (events + periodic samples + a final
   summary) as JSON Lines;
+* ``chaos`` — run a seeded fault-injection scenario on the live runtime
+  (drop/duplicate/reorder/corrupt rates, crashes, partitions) and report
+  the delivery ratio; ``--assert-delivery X`` exits nonzero below the
+  bar, which is how the chaos-smoke CI job gates the reliability layer;
 * ``metrics`` — work with exported telemetry streams
   (``metrics summarize m.jsonl`` folds one back into the shape
   ``SetupMetrics`` reports, see docs/TELEMETRY.md);
@@ -255,6 +259,112 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import TRANSPORTS
+    from repro.runtime.chaos import (
+        ChaosScenario,
+        parse_crash,
+        parse_partition,
+        run_chaos,
+    )
+
+    if args.transport not in TRANSPORTS:
+        print(f"unknown transport {args.transport!r}: choose one of {', '.join(TRANSPORTS)}")
+        return 2
+    try:
+        scenario = ChaosScenario(
+            seed=args.seed,
+            n=args.n,
+            density=args.density,
+            transport=args.transport,
+            drop=args.drop,
+            duplicate=args.duplicate,
+            reorder=args.reorder,
+            corrupt=args.corrupt,
+            delay_jitter_s=args.delay_jitter,
+            crashes=tuple(parse_crash(s) for s in args.crash),
+            partitions=tuple(parse_partition(s) for s in args.partition),
+            retransmits=not args.no_retransmits,
+            period_s=args.period,
+            rounds=args.rounds,
+            settle_s=args.settle,
+        )
+        scenario.fault_plan()  # validate the fault rates up front
+    except ValueError as exc:
+        print(f"invalid scenario: {exc}")
+        return 2
+
+    result = run_chaos(scenario)
+
+    reliability = "on" if scenario.retransmits else "off"
+    fault_counters = {
+        k: v for k, v in sorted(result.counters.items()) if k.startswith("fault.")
+    }
+    retx_counters = {
+        k: result.counter(k)
+        for k in ("net.retx.sent", "net.retx.acked", "net.retx.queue_full",
+                  "forward.giveup", "tx.ack")
+    }
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "seed": scenario.seed,
+                    "n": scenario.n,
+                    "transport": scenario.transport,
+                    "retransmits": scenario.retransmits,
+                    "drop": scenario.drop,
+                    "duplicate": scenario.duplicate,
+                    "reorder": scenario.reorder,
+                    "corrupt": scenario.corrupt,
+                    "delivery_ratio": round(result.delivery_ratio, 6),
+                    "sent": result.sent,
+                    "delivered": result.delivered,
+                    "sources": result.sources,
+                    "unroutable": result.unroutable,
+                    "send_failures": result.send_failures,
+                    "mean_latency_s": (
+                        round(result.mean_latency_s, 4)
+                        if result.mean_latency_s is not None
+                        else None
+                    ),
+                    "fault_counters": fault_counters,
+                    "reliability_counters": retx_counters,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"chaos seed={scenario.seed} n={scenario.n} {scenario.transport} "
+            f"drop={scenario.drop:.0%} dup={scenario.duplicate:.0%} "
+            f"reorder={scenario.reorder:.0%} corrupt={scenario.corrupt:.0%} "
+            f"retransmits={reliability}"
+        )
+        print(
+            f"  delivery: {result.delivery_ratio:.2%} "
+            f"({result.sent} sent from {result.sources} sources, "
+            f"{result.unroutable} unroutable excluded)"
+        )
+        if result.mean_latency_s is not None:
+            print(f"  mean latency: {result.mean_latency_s:.3f}s")
+        print("  faults injected:", " ".join(f"{k.split('.', 1)[1]}={v}" for k, v in fault_counters.items()) or "none")
+        if scenario.retransmits:
+            print(
+                "  reliability: "
+                + " ".join(f"{k}={v}" for k, v in retx_counters.items())
+            )
+    if args.assert_delivery is not None and result.delivery_ratio < args.assert_delivery:
+        print(
+            f"FAIL: delivery {result.delivery_ratio:.2%} below the "
+            f"--assert-delivery bar {args.assert_delivery:.2%}"
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench_crypto(args: argparse.Namespace) -> int:
     from repro.bench import render_bench_crypto, write_bench_crypto
 
@@ -398,6 +508,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="protocol seconds between metric samples (with --metrics-out)",
     )
     run_live.set_defaults(func=_cmd_run_live)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a seeded fault-injection scenario on a live deployment"
+    )
+    _add_common(chaos)
+    chaos.add_argument(
+        "--transport",
+        default="loopback",
+        metavar="{loopback,udp,sim}",
+        help="network backend to inject faults into (default: loopback)",
+    )
+    chaos.add_argument(
+        "--drop", type=float, default=0.15, help="per-delivery drop probability"
+    )
+    chaos.add_argument(
+        "--duplicate", type=float, default=0.05, help="duplication probability"
+    )
+    chaos.add_argument(
+        "--reorder", type=float, default=0.05, help="reordering probability"
+    )
+    chaos.add_argument(
+        "--corrupt", type=float, default=0.0, help="byte-corruption probability"
+    )
+    chaos.add_argument(
+        "--delay-jitter",
+        type=float,
+        default=0.0,
+        help="max extra per-delivery latency in protocol seconds",
+    )
+    chaos.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="NODE@AT[:RESTART]",
+        help="crash schedule, repeatable (e.g. 7@20:35)",
+    )
+    chaos.add_argument(
+        "--partition",
+        action="append",
+        default=[],
+        metavar="N1,N2@START:END",
+        help="partition window, repeatable (e.g. 3,9@15:40)",
+    )
+    chaos.add_argument(
+        "--no-retransmits",
+        action="store_true",
+        help="disable hop ACKs/retransmission and setup re-announcement",
+    )
+    chaos.add_argument(
+        "--period", type=float, default=5.0, help="reporting period in protocol seconds"
+    )
+    chaos.add_argument("--rounds", type=int, default=3, help="reports per source")
+    chaos.add_argument(
+        "--settle",
+        type=float,
+        default=10.0,
+        help="extra protocol seconds to run after the last report",
+    )
+    chaos.add_argument(
+        "--assert-delivery",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if delivery falls below RATIO (e.g. 0.99)",
+    )
+    chaos.add_argument("--json", action="store_true", help="machine-readable output")
+    # The acceptance scenario is deliberately smaller than the common
+    # --n default: chaos runs every sensor as a reporting source.
+    chaos.set_defaults(func=_cmd_chaos, n=60)
 
     bench = sub.add_parser("bench", help="performance benchmarks")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)

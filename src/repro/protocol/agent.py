@@ -20,6 +20,7 @@ Security-relevant behaviours are counted in the network trace under
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable
 
 from repro.crypto.aead import AuthenticationError
@@ -44,6 +45,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class ProtocolError(RuntimeError):
     """API misuse, e.g. sending data before key setup completed."""
+
+
+class _RetxEntry:
+    """One message awaiting a custody ACK (reliability extension)."""
+
+    __slots__ = ("c1", "attempt", "timer")
+
+    def __init__(self, c1: bytes) -> None:
+        self.c1 = c1
+        self.attempt = 0
+        self.timer = None
 
 
 class ProtocolAgent:
@@ -78,6 +90,14 @@ class ProtocolAgent:
         self._staged_cid: int | None = None
         #: Readings this node delivered locally (for tests and examples).
         self.forwarded_count = 0
+        #: Messages awaiting a custody ACK, by inner-blob fingerprint
+        #: (reliability extension; empty unless ``hop_ack_enabled``).
+        self._retx: dict[bytes, _RetxEntry] = {}
+        #: Fingerprints this node took custody of (accepted and forwarded,
+        #: or is still forwarding). Distinct from the dedup cache, which
+        #: also records messages merely *overheard* — re-ACKing those
+        #: would claim custody the node never took.
+        self._custody: OrderedDict[bytes, None] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Key setup (Sec. IV-B)
@@ -112,6 +132,7 @@ class ProtocolAgent:
         self._trace.count("tx.hello")
         self._trace.count("tx.setup")
         self.node.broadcast(frame)
+        self._schedule_reannounce(frame, "tx.hello_reannounce")
 
     def _on_hello(self, frame: bytes) -> None:
         st = self.state
@@ -153,6 +174,32 @@ class ProtocolAgent:
             self.config.aead,
         )
         self._trace.count("tx.linkinfo")
+        self._trace.count("tx.setup")
+        self.node.broadcast(frame)
+        self._schedule_reannounce(frame, "tx.linkinfo_reannounce")
+
+    def _schedule_reannounce(self, frame: bytes, counter_name: str) -> None:
+        """Arm bounded verbatim re-broadcasts of one setup frame.
+
+        A lost HELLO leaves a node to become a spurious singleton head; a
+        lost LINKINFO leaves edge nodes without a neighbor cluster's key.
+        Re-announcing the *identical* sealed frame (no counter reuse — the
+        bytes are the same transmission) gives setup convergence on a
+        lossy channel. Disabled by default (``setup_reannounce_count=0``).
+        """
+        cfg = self.config
+        for k in range(1, cfg.setup_reannounce_count + 1):
+            self.node.schedule(
+                k * cfg.setup_reannounce_interval_s,
+                lambda: self._reannounce(frame, counter_name),
+            )
+
+    def _reannounce(self, frame: bytes, counter_name: str) -> None:
+        if self.state.preload.master_key.erased or not self.node.alive:
+            # Setup is over (or we crashed): a re-announcement would only
+            # feed drop.*_after_setup counters at the receivers.
+            return
+        self._trace.count(counter_name)
         self._trace.count("tx.setup")
         self.node.broadcast(frame)
 
@@ -231,6 +278,122 @@ class ProtocolAgent:
         )
         self._trace.count("tx.data")
         self.node.broadcast(frame)
+        if self.config.hop_ack_enabled:
+            self._track_retx(c1)
+
+    # ------------------------------------------------------------------
+    # Hop-by-hop reliability (live-runtime extension; off by default)
+    # ------------------------------------------------------------------
+
+    def _track_retx(self, c1: bytes) -> None:
+        """Await a custody ACK for ``c1``; arm the retransmission timer.
+
+        Called after every hop transmission (first send and retransmits
+        alike): the first call creates the queue entry, later calls only
+        re-arm the timer with the next backoff step.
+        """
+        cfg = self.config
+        fp = DedupCache.fingerprint(c1)
+        entry = self._retx.get(fp)
+        if entry is None:
+            if len(self._retx) >= cfg.retx_queue_limit:
+                # Queue bound reached: this transmission is send-and-pray.
+                self._trace.count("net.retx.queue_full")
+                return
+            entry = self._retx[fp] = _RetxEntry(c1)
+        delay = min(
+            cfg.ack_timeout_s * cfg.retx_backoff_factor**entry.attempt,
+            cfg.retx_backoff_max_s,
+        ) + float(self._rng.uniform(0.0, cfg.retx_jitter_s))
+        entry.timer = self.node.schedule(delay, lambda: self._retx_fire(fp))
+
+    def _retx_fire(self, fp: bytes) -> None:
+        """ACK timeout: retransmit (re-wrapped, fresh seq) or give up."""
+        entry = self._retx.get(fp)
+        if entry is None:
+            return
+        st = self.state
+        if not self.node.alive or st.cid is None or not st.keyring.has(st.cid):
+            # Crashed or revoked mid-wait: the queue entry is dead weight.
+            del self._retx[fp]
+            self._custody.pop(fp, None)
+            return
+        entry.attempt += 1
+        if entry.attempt > self.config.max_retransmits:
+            del self._retx[fp]
+            # Custody is renounced: an upstream retransmit must not be
+            # re-ACKed by a node that failed to progress the message.
+            self._custody.pop(fp, None)
+            self._trace.count("forward.giveup")
+            return
+        self._trace.count("net.retx.sent")
+        # Re-wrap under a fresh hop sequence number: receivers' anti-replay
+        # windows are strictly increasing, so replaying the original bytes
+        # would be dropped. Duplicate suppression still works — it keys on
+        # the invariant inner blob, not the hop wrapper.
+        self._transmit_hop(entry.c1)
+
+    def _take_custody(self, c1: bytes) -> None:
+        """Record that this node owns forwarding ``c1`` (bounded set)."""
+        fp = DedupCache.fingerprint(c1)
+        self._custody[fp] = None
+        self._custody.move_to_end(fp)
+        if len(self._custody) > self.config.dedup_cache_size:
+            self._custody.popitem(last=False)
+
+    def _has_custody(self, c1: bytes) -> bool:
+        """Whether this node accepted (and did not renounce) ``c1``."""
+        return DedupCache.fingerprint(c1) in self._custody
+
+    def _send_ack(self, cid: int, hop_sender: int, c1: bytes) -> None:
+        """Broadcast a custody ACK addressed to ``hop_sender``."""
+        st = self.state
+        if not st.keyring.has(cid):
+            return
+        fp = DedupCache.fingerprint(c1)
+        tag = mac(
+            st.keyring.get(cid).material,
+            messages.ack_mac_input(cid, hop_sender, fp),
+            self.config.tag_len,
+        )
+        self._trace.count("tx.ack")
+        self.node.broadcast(messages.encode_ack(cid, hop_sender, fp, tag))
+
+    def _is_custodian(self, header: messages.DataHeader) -> bool:
+        """Downhill of the hop sender — the node an ACK is expected from."""
+        st = self.state
+        return 0 <= st.hops_to_bs < header.hops_to_bs
+
+    def _on_ack(self, frame: bytes) -> None:
+        if not self.config.hop_ack_enabled:
+            self._trace.count("drop.unknown_type")
+            return
+        try:
+            cid, hop_sender, fp, tag = messages.decode_ack(frame, self.config.tag_len)
+        except messages.MalformedMessage:
+            self._trace.count("drop.ack_malformed")
+            return
+        st = self.state
+        if hop_sender != st.node_id or fp not in self._retx:
+            # ACKs are broadcast: every neighbor of the custodian hears
+            # them, so most receptions are addressed to somebody else (or
+            # to a transmission already acknowledged).
+            self._trace.count("drop.ack_unmatched")
+            return
+        if not st.keyring.has(cid):
+            self._trace.count("drop.ack_unknown_cluster")
+            return
+        if not verify(
+            st.keyring.get(cid).material,
+            messages.ack_mac_input(cid, hop_sender, fp),
+            tag,
+        ):
+            self._trace.count("drop.ack_bad_auth")
+            return
+        entry = self._retx.pop(fp)
+        if entry.timer is not None:
+            entry.timer.cancel()
+        self._trace.count("net.retx.acked")
 
     def _on_data(self, frame: bytes) -> None:
         st = self.state
@@ -264,10 +427,30 @@ class ProtocolAgent:
             self._trace.count("drop.data_unknown_cluster")
             return
         if not st.accept_hop_seq(header.sender, header.seq):
+            # Authenticated but already-seen hop sequence (a link-layer
+            # duplicate, or an out-of-order seq carrying a new message).
+            # Re-ACK only if we genuinely hold custody of this inner blob
+            # — the sender may be retransmitting because our ACK was lost.
             self._trace.count("drop.data_replay")
+            if (
+                self.config.hop_ack_enabled
+                and self._is_custodian(header)
+                and self._has_custody(c1)
+            ):
+                self._send_ack(header.cid, header.sender, c1)
             return
         if self._dedup.seen_before(c1):
+            # Already seen — but "seen" includes messages merely overheard
+            # and dropped (e.g. uphill receptions). Only a node that took
+            # custody may re-ACK; anything else would cancel the sender's
+            # retransmissions without anyone owning the message.
             self._trace.count("drop.data_duplicate")
+            if (
+                self.config.hop_ack_enabled
+                and self._is_custodian(header)
+                and self._has_custody(c1)
+            ):
+                self._send_ack(header.cid, header.sender, c1)
             return
         self._process_inner(header, c1)
 
@@ -293,6 +476,11 @@ class ProtocolAgent:
             self._trace.count("drop.data_no_cluster_key")
             return
         self.forwarded_count += 1
+        if self.config.hop_ack_enabled:
+            # Custody accepted (we are downhill and will forward): signal
+            # the hop sender before the jittered forward fires.
+            self._take_custody(c1)
+            self._send_ack(header.cid, header.sender, c1)
         if self.config.forward_jitter_s > 0:
             delay = float(self._rng.uniform(0.0, self.config.forward_jitter_s))
             self.node.schedule(delay, lambda: self._forward_later(c1))
@@ -305,6 +493,8 @@ class ProtocolAgent:
         st = self.state
         if not self.node.alive or st.cid is None or not st.keyring.has(st.cid):
             self._trace.count("drop.data_no_cluster_key")
+            # We ACKed custody at acceptance but can no longer forward.
+            self._custody.pop(DedupCache.fingerprint(c1), None)
             return
         self._transmit_hop(c1)
 
@@ -569,6 +759,7 @@ class ProtocolAgent:
         messages.JOIN_REQ: "_on_join_req",
         messages.REFRESH: "_on_refresh",
         messages.REELECT_HELLO: "_on_reelect_hello",
+        messages.ACK: "_on_ack",
     }
 
     def on_frame(self, sender_id: int, frame: bytes) -> None:

@@ -199,16 +199,43 @@ class BaseStationAgent:
             self._reject(header.cid)
             return
         if header.seq <= self._last_seen_seq.get(header.sender, 0):
+            # Authenticated but already-seen hop sequence. Re-ACK only a
+            # true link duplicate (the sender's ACK may have been lost):
+            # for the BS, an inner blob in the dedup cache *was* accepted.
+            # An out-of-order seq carrying a new message stays unACKed so
+            # the sender re-wraps and retries it under a fresh seq.
             self._trace.count("bs.drop_replay")
             self._reject(header.cid)
+            if self._dedup.contains(c1):
+                self._send_ack(header.cid, header.sender, c1)
             return
         self._last_seen_seq[header.sender] = header.seq
         if self._dedup.seen_before(c1):
             # The same logical reading arriving over several paths is
             # expected with gradient forwarding; count it, don't reject it.
             self._trace.count("bs.duplicate_path")
+            self._send_ack(header.cid, header.sender, c1)
             return
+        self._send_ack(header.cid, header.sender, c1)
         self._accept_inner(c1)
+
+    def _send_ack(self, cid: int, hop_sender: int, c1: bytes) -> None:
+        """Custody ACK for ``c1`` addressed to ``hop_sender``.
+
+        The BS is the custody chain's endpoint: everything it
+        authenticates is final. No-op unless the reliability extension is
+        on (``hop_ack_enabled``).
+        """
+        if not self.config.hop_ack_enabled:
+            return
+        try:
+            key = self.cluster_key(cid)
+        except KeyError:
+            return
+        fp = DedupCache.fingerprint(c1)
+        tag = mac(key, messages.ack_mac_input(cid, hop_sender, fp), self.config.tag_len)
+        self._trace.count("tx.ack")
+        self.node.broadcast(messages.encode_ack(cid, hop_sender, fp, tag))
 
     def _accept_inner(self, c1: bytes) -> None:
         try:

@@ -77,6 +77,34 @@ class ProtocolConfig:
     #: Bound on the per-node duplicate-suppression cache.
     dedup_cache_size: int = 4096
 
+    # -- hop-by-hop reliability (live-runtime extension, default off) --------
+    #: Per-hop custody ACKs + retransmission. Off by default: the paper's
+    #: protocol has no ACKs, and sim/loopback parity tests pin the default
+    #: behavior. Enable for lossy live fabrics (see docs/RUNTIME.md).
+    hop_ack_enabled: bool = False
+    #: Base wait for a custody ACK before the first retransmission.
+    ack_timeout_s: float = 0.3
+    #: Exponential backoff factor between retransmissions.
+    retx_backoff_factor: float = 2.0
+    #: Cap on the backoff delay (keeps the schedule bounded).
+    retx_backoff_max_s: float = 2.0
+    #: Uniform jitter added to every retransmission delay (desynchronizes
+    #: neighbors that lost the same frame).
+    retx_jitter_s: float = 0.05
+    #: Retransmissions per message before giving up (``forward.giveup``).
+    max_retransmits: int = 3
+    #: Bound on messages concurrently awaiting an ACK; beyond it new
+    #: transmissions are send-and-pray (``net.retx.queue_full``).
+    retx_queue_limit: int = 128
+    #: Times each HELLO / LINKINFO setup broadcast is re-announced so
+    #: clustering converges on a lossy channel. 0 (default) disables;
+    #: re-announcements are verbatim re-broadcasts (same sealed bytes, so
+    #: no counter is ever reused) and stop once K_m is erased. Budget
+    #: ``settle_margin_s`` for the extra ``count * interval`` tail.
+    setup_reannounce_count: int = 0
+    #: Spacing between successive re-announcements.
+    setup_reannounce_interval_s: float = 1.0
+
     # -- maintenance ----------------------------------------------------------
     refresh_strategy: str = "rehash"
     #: Length of the base station's revocation key chain.
@@ -117,6 +145,19 @@ class ProtocolConfig:
             )
         if self.revocation_chain_length < 1:
             raise ValueError("revocation_chain_length must be >= 1")
+        check_positive("ack_timeout_s", self.ack_timeout_s)
+        check_positive("retx_backoff_max_s", self.retx_backoff_max_s)
+        check_positive("setup_reannounce_interval_s", self.setup_reannounce_interval_s)
+        if self.retx_backoff_factor < 1.0:
+            raise ValueError("retx_backoff_factor must be >= 1")
+        if self.retx_jitter_s < 0:
+            raise ValueError("retx_jitter_s must be >= 0")
+        if self.max_retransmits < 0:
+            raise ValueError("max_retransmits must be >= 0")
+        if self.retx_queue_limit < 1:
+            raise ValueError("retx_queue_limit must be >= 1")
+        if self.setup_reannounce_count < 0:
+            raise ValueError("setup_reannounce_count must be >= 0")
         if self.cluster_phase_duration_s < 4 * self.mean_hello_delay_s:
             raise ValueError(
                 "cluster_phase_duration_s should be at least 4x the mean "

@@ -324,6 +324,16 @@ class DedupCache:
         """8-byte digest identifying a logical message."""
         return sha256_fast(c1)[:8]
 
+    def contains(self, c1: bytes) -> bool:
+        """Whether ``c1`` is in the cache, without recording it.
+
+        The reliability layer's re-ACK decision needs a peek: a frame
+        rejected by the hop anti-replay check only deserves a custody ACK
+        if its inner blob really was received before (a link duplicate) —
+        not when an out-of-order hop seq carries a brand-new message.
+        """
+        return self.fingerprint(c1) in self._seen
+
     def seen_before(self, c1: bytes) -> bool:
         """Record ``c1``; True if it was already in the cache."""
         fp = self.fingerprint(c1)

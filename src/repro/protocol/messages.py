@@ -19,6 +19,7 @@ REVOKE       keychain-authenticated cluster revocation (IV-D)
 JOIN_REQ     new-node hello (IV-E)
 JOIN_RESP    CID, MAC_Kc(CID | new_id) (IV-E)
 REFRESH      intra-cluster key refresh under the old K_c (IV-C/VI)
+ACK          per-hop custody acknowledgement, CID | H(c1) | MAC_Kc
 ===========  ====================================================
 """
 
@@ -37,6 +38,7 @@ JOIN_REQ = 5
 JOIN_RESP = 6
 REFRESH = 7
 REELECT_HELLO = 8
+ACK = 9
 
 _TYPE_NAMES = {
     HELLO: "HELLO",
@@ -47,6 +49,7 @@ _TYPE_NAMES = {
     JOIN_RESP: "JOIN_RESP",
     REFRESH: "REFRESH",
     REELECT_HELLO: "REELECT_HELLO",
+    ACK: "ACK",
 }
 
 _AD_HELLO = b"H"
@@ -298,6 +301,52 @@ def refresh_header(frame: bytes) -> tuple[int, int]:
     if len(frame) < 1 + 8 or frame[0] != REFRESH:
         raise MalformedMessage("not a REFRESH frame")
     return struct.unpack(">II", frame[1:9])
+
+
+# ---------------------------------------------------------------------------
+# ACK — per-hop custody acknowledgement (reliability extension)
+# ---------------------------------------------------------------------------
+
+# Not in the paper: the paper's evaluation assumes the MAC layer's loss is
+# absorbed by multi-path gradient forwarding alone. The live runtime's
+# reliability layer (ProtocolConfig.hop_ack_enabled) adds an explicit
+# custody signal so a hop sender can stop retransmitting: a *downhill*
+# receiver that authenticated the DATA frame and took custody of the
+# message broadcasts the inner blob's fingerprint, MAC-ed under the same
+# cluster key that protected the DATA frame. Both ends hold that key, so
+# no new key material or counter space is needed — and a plain MAC
+# suffices because an ACK carries no secret payload.
+#
+# The ACK names the hop sender it acknowledges. ACKs are broadcast, so
+# every neighbor of the custodian overhears them; an unaddressed ACK
+# would let a transmitter cancel its retransmissions on an ACK meant for
+# a *different* copy of the same message — whose custody chain may not
+# cover this transmitter's downhill direction at all.
+
+#: ACK body: the DATA frame's cluster id, the acknowledged hop sender,
+#: and the 8-byte inner-blob fingerprint (``DedupCache.fingerprint``)
+#: identifying the logical message.
+_ACK_BODY = struct.Struct(">II8s")
+
+
+def encode_ack(cid: int, hop_sender: int, fingerprint: bytes, tag: bytes) -> bytes:
+    """``CID | sender | H(c1) | MAC_Kc("ACK" | CID | sender | H(c1))``."""
+    if len(fingerprint) != 8:
+        raise MalformedMessage("ACK fingerprint must be 8 bytes")
+    return bytes([ACK]) + _ACK_BODY.pack(cid, hop_sender, fingerprint) + tag
+
+
+def decode_ack(frame: bytes, tag_len: int) -> tuple[int, int, bytes, bytes]:
+    """Parse an ACK; returns ``(cid, hop_sender, fingerprint, tag)``."""
+    if len(frame) != 1 + _ACK_BODY.size + tag_len or frame[0] != ACK:
+        raise MalformedMessage("not an ACK frame")
+    cid, hop_sender, fingerprint = _ACK_BODY.unpack_from(frame, 1)
+    return cid, hop_sender, fingerprint, frame[1 + _ACK_BODY.size :]
+
+
+def ack_mac_input(cid: int, hop_sender: int, fingerprint: bytes) -> bytes:
+    """Canonical MAC input of a custody acknowledgement."""
+    return b"ACK" + struct.pack(">II", cid, hop_sender) + fingerprint
 
 
 # ---------------------------------------------------------------------------

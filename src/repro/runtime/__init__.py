@@ -16,12 +16,25 @@ simulator entities. The pieces:
   :func:`~repro.runtime.cluster.deploy_live` — N-node live deployments
   driven through the standard key-setup orchestration;
 * :class:`~repro.runtime.gateway.GatewayService` — JSON status/metrics
-  snapshots over the base station.
+  snapshots over the base station;
+* :class:`~repro.runtime.faults.FaultPlan` /
+  :class:`~repro.runtime.faults.FaultInjectingTransport` — seeded,
+  declarative fault injection (loss, duplication, reordering, delay,
+  corruption, crashes, partitions) over any backend, driven by the
+  ``repro chaos`` CLI (:mod:`repro.runtime.chaos`).
 
 Entry point: ``python -m repro run-live --n 50 --transport loopback``.
 """
 
+from repro.runtime.chaos import ChaosResult, ChaosScenario, run_chaos
 from repro.runtime.cluster import TRANSPORTS, LiveNetwork, build_transport, deploy_live
+from repro.runtime.faults import (
+    CrashEvent,
+    FaultInjectingTransport,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
 from repro.runtime.gateway import GatewayService
 from repro.runtime.loopback import LoopbackTransport
 from repro.runtime.node import NodeRuntime
@@ -39,4 +52,12 @@ __all__ = [
     "build_transport",
     "deploy_live",
     "GatewayService",
+    "LinkFaults",
+    "CrashEvent",
+    "Partition",
+    "FaultPlan",
+    "FaultInjectingTransport",
+    "ChaosScenario",
+    "ChaosResult",
+    "run_chaos",
 ]

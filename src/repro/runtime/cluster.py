@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro.sim.network import BS_ID, Network
 from repro.sim.radio import RadioConfig
+from repro.runtime.faults import FaultInjectingTransport, FaultPlan
 from repro.runtime.loopback import LoopbackTransport
 from repro.runtime.node import NodeRuntime
 from repro.runtime.transport import SimTransport, Transport
@@ -132,6 +133,7 @@ def deploy_live(
     config: "ProtocolConfig | None" = None,
     radio_config: RadioConfig | None = None,
     event_log_limit: int = 0,
+    fault_plan: FaultPlan | None = None,
     **transport_kwargs,
 ) -> "tuple[DeployedProtocol, SetupMetrics]":
     """Deploy ``n`` live nodes on ``transport`` and run key setup on them.
@@ -143,6 +145,11 @@ def deploy_live(
     a :class:`LiveNetwork`) plus the usual setup metrics. Extra keyword
     arguments go to the transport constructor (``pace`` for loopback;
     ``base_port`` / ``host`` / ``time_scale`` for UDP).
+
+    ``fault_plan`` wraps the chosen backend in a
+    :class:`~repro.runtime.faults.FaultInjectingTransport` so the whole
+    deployment — key setup included — runs under the plan's injected
+    faults (see :mod:`repro.runtime.faults`).
 
     ``event_log_limit`` > 0 enables the telemetry event buffer *before*
     key setup runs, so a JSONL exporter attached afterwards (``run-live
@@ -157,5 +164,7 @@ def deploy_live(
         # build-time trace yet, so swapping it is observationally clean.
         network.trace = Trace(log_limit=event_log_limit)
     fabric = build_transport(transport, network, **transport_kwargs)
+    if fault_plan is not None:
+        fabric = FaultInjectingTransport(fabric, fault_plan)
     live = LiveNetwork(network, fabric)
     return run_key_setup(live, config)

@@ -1,0 +1,401 @@
+"""Deterministic fault injection for any live transport.
+
+The simulator models a hostile channel (per-link loss, collisions, CSMA
+in :mod:`repro.sim.radio`), but the live transports are ideal MACs: no
+frame is ever dropped, duplicated, reordered, delayed or corrupted. This
+module closes that gap with one fault vocabulary shared by every
+backend:
+
+* :class:`FaultPlan` — a *seeded*, declarative description of what goes
+  wrong: global and per-link drop / duplicate / reorder / corrupt /
+  delay rates, node crash-and-restart schedules, and network partitions;
+* :class:`FaultInjectingTransport` — a decorator that wraps **any**
+  :class:`~repro.runtime.transport.Transport` (loopback, UDP, sim) and
+  applies the plan on the delivery path, so the protocol under test
+  cannot tell injected faults from real ones.
+
+Fault decisions are drawn from a ``numpy`` generator seeded by the plan,
+so on a deterministic transport (loopback, sim) a chaos run is exactly
+reproducible — the property the ``repro chaos`` CLI and the chaos-smoke
+CI job rely on.
+
+Semantics note: ``drop`` is evaluated once per *(sender, receiver)*
+delivery attempt — the same per-link independent-loss semantics as
+``RadioConfig.loss_probability`` in the simulator, so a sim run with
+``loss_probability=p`` and a live run with ``FaultPlan`` drop ``p`` mean
+the same thing (see :meth:`FaultPlan.from_radio_config`).
+
+Every injected fault is counted in the deployment's trace under
+``fault.*`` (see docs/TELEMETRY.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.runtime.transport import ReceiveEndpoint, TimerHandle, Transport
+from repro.util.validate import check_probability
+
+__all__ = [
+    "LinkFaults",
+    "CrashEvent",
+    "Partition",
+    "FaultPlan",
+    "FaultInjectingTransport",
+]
+
+
+@runtime_checkable
+class CrashableEndpoint(Protocol):
+    """Endpoint a crash schedule can take down and bring back.
+
+    :class:`~repro.runtime.node.NodeRuntime` implements this surface
+    (``offline`` / ``online``); plain sim nodes only support one-way
+    ``die`` and cannot be restarted by a plan.
+    """
+
+    def offline(self) -> None:  # pragma: no cover - protocol stub
+        """Take the endpoint down (stops receiving and transmitting)."""
+        ...
+
+    def online(self) -> None:  # pragma: no cover - protocol stub
+        """Bring the endpoint back up."""
+        ...
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-delivery fault rates for one link (or the global default).
+
+    All rates are independent probabilities evaluated per *(sender,
+    receiver)* delivery attempt, matching the simulator radio's
+    ``loss_probability`` semantics. ``delay_jitter_s`` adds a uniform
+    extra delivery delay to every frame on the link (0 disables).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    delay_jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability("drop", self.drop)
+        check_probability("duplicate", self.duplicate)
+        check_probability("reorder", self.reorder)
+        check_probability("corrupt", self.corrupt)
+        if self.delay_jitter_s < 0:
+            raise ValueError("delay_jitter_s must be >= 0")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when these rates change nothing at all."""
+        return (
+            self.drop == 0.0
+            and self.duplicate == 0.0
+            and self.reorder == 0.0
+            and self.corrupt == 0.0
+            and self.delay_jitter_s == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Take node ``node_id`` offline at ``at_s`` (protocol time).
+
+    With ``restart_at_s`` set the node comes back at that time (state
+    intact — a reboot, not a reprovision); ``None`` means a permanent
+    crash.
+    """
+
+    node_id: int
+    at_s: float
+    restart_at_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.restart_at_s is not None and self.restart_at_s <= self.at_s:
+            raise ValueError("restart_at_s must be after at_s")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut ``nodes`` off from the rest of the network for a time window.
+
+    While ``start_s <= now < end_s`` no frame crosses the island
+    boundary in either direction; traffic inside the island (and among
+    the nodes outside it) is unaffected.
+    """
+
+    nodes: frozenset[int]
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", frozenset(self.nodes))
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must be after start_s")
+
+    def severs(self, sender_id: int, receiver_id: int, now: float) -> bool:
+        """Whether this partition blocks ``sender -> receiver`` at ``now``."""
+        if not (self.start_s <= now < self.end_s):
+            return False
+        return (sender_id in self.nodes) != (receiver_id in self.nodes)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative fault scenario.
+
+    ``defaults`` applies to every link; ``per_link`` overrides whole
+    links by ``(sender_id, receiver_id)``. Crash schedules and
+    partitions are absolute protocol-time windows. Two plans with the
+    same fields and seed inject byte-identical faults on a deterministic
+    transport.
+    """
+
+    seed: int = 0
+    defaults: LinkFaults = field(default_factory=LinkFaults)
+    per_link: Mapping[tuple[int, int], LinkFaults] = field(default_factory=dict)
+    crashes: tuple[CrashEvent, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    #: A duplicated frame's second copy lands uniformly within this window.
+    duplicate_window_s: float = 0.1
+    #: A reordered frame is held back uniformly within this window, letting
+    #: later traffic overtake it.
+    reorder_window_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "per_link", dict(self.per_link))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        if self.duplicate_window_s <= 0:
+            raise ValueError("duplicate_window_s must be > 0")
+        if self.reorder_window_s <= 0:
+            raise ValueError("reorder_window_s must be > 0")
+
+    @classmethod
+    def from_radio_config(cls, radio_config: Any, seed: int = 0) -> "FaultPlan":
+        """A plan reproducing a simulator radio's loss model on a live fabric.
+
+        ``RadioConfig.loss_probability`` is an independent per-link
+        delivery drop; this maps it onto the equivalent global
+        :class:`LinkFaults` drop rate, so sim and live loss mean the
+        same thing.
+        """
+        return cls(seed=seed, defaults=LinkFaults(drop=radio_config.loss_probability))
+
+    def link(self, sender_id: int, receiver_id: int) -> LinkFaults:
+        """The fault rates in force on ``sender -> receiver``."""
+        return self.per_link.get((sender_id, receiver_id), self.defaults)
+
+    def severed(self, sender_id: int, receiver_id: int, now: float) -> bool:
+        """Whether any partition blocks this delivery at ``now``."""
+        return any(p.severs(sender_id, receiver_id, now) for p in self.partitions)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing: wrapping with it must be a
+        byte-identical passthrough (pinned by the parity tests)."""
+        return (
+            self.defaults.is_noop
+            and all(lf.is_noop for lf in self.per_link.values())
+            and not self.crashes
+            and not self.partitions
+        )
+
+
+class FaultInjectingTransport(Transport):
+    """Decorator applying a :class:`FaultPlan` to any inner transport.
+
+    Wraps every registered endpoint so delivered frames pass through the
+    plan's link faults (drop / duplicate / reorder / corrupt / delay)
+    before reaching the node, and arms the plan's crash and restart
+    timers on the inner transport's clock when :meth:`run` is first
+    called. Clock, timers and the broadcast path are forwarded verbatim,
+    so the wrapper composes with loopback, UDP and sim alike.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan) -> None:
+        """Wrap ``inner``; its trace/telemetry store is shared."""
+        super().__init__(trace=inner.trace)
+        self.inner = inner
+        self.plan = plan
+        self.name = f"{inner.name}+faults"
+        self._rng = np.random.default_rng(plan.seed)
+        self._endpoints: dict[int, _FaultedEndpoint] = {}
+        self._crashes_armed = False
+
+    # -- Transport interface -------------------------------------------------
+
+    def register(self, node: ReceiveEndpoint) -> None:
+        """Attach ``node`` behind a fault-applying delivery shim."""
+        shim = _FaultedEndpoint(self, node)
+        self._endpoints[node.id] = shim
+        self.inner.register(shim)
+
+    @property
+    def now(self) -> float:
+        """The inner transport's protocol clock."""
+        return self.inner.now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> TimerHandle:
+        """Arm a timer on the inner transport's clock."""
+        return self.inner.schedule(delay, callback)
+
+    def broadcast(self, sender_id: int, frame: bytes) -> None:
+        """Transmit on the inner fabric (faults apply at delivery)."""
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        self.inner.broadcast(sender_id, frame)
+
+    def run(self, until: float | None = None) -> float:
+        """Arm the crash schedule (once), then drive the inner transport."""
+        self._arm_crashes()
+        return self.inner.run(until)
+
+    # -- fault application ---------------------------------------------------
+
+    def _arm_crashes(self) -> None:
+        if self._crashes_armed:
+            return
+        self._crashes_armed = True
+        now = self.inner.now
+        for crash in self.plan.crashes:
+            self.inner.schedule(
+                max(0.0, crash.at_s - now), _CrashFire(self, crash.node_id, False)
+            )
+            if crash.restart_at_s is not None:
+                self.inner.schedule(
+                    max(0.0, crash.restart_at_s - now),
+                    _CrashFire(self, crash.node_id, True),
+                )
+
+    def _fire_crash(self, node_id: int, restart: bool) -> None:
+        shim = self._endpoints.get(node_id)
+        if shim is None:
+            return
+        node = shim.node
+        if not isinstance(node, CrashableEndpoint):
+            raise TypeError(
+                f"crash schedule targets node {node_id}, but its endpoint "
+                f"({type(node).__name__}) has no offline/online hooks"
+            )
+        if restart:
+            node.online()
+            self.trace.count("fault.restart")
+        else:
+            node.offline()
+            self.trace.count("fault.crash")
+
+    def _inject(self, node: ReceiveEndpoint, sender_id: int, frame: bytes) -> None:
+        """Apply the plan to one delivery, then hand it to the real node."""
+        plan = self.plan
+        if plan.severed(sender_id, node.id, self.inner.now):
+            self.trace.count("fault.partition_drop")
+            return
+        link = plan.link(sender_id, node.id)
+        if link.is_noop:
+            self._deliver(node, sender_id, frame)
+            return
+        rng = self._rng
+        if link.drop > 0.0 and rng.random() < link.drop:
+            self.trace.count("fault.drop")
+            return
+        if link.corrupt > 0.0 and rng.random() < link.corrupt:
+            frame = self._corrupt(frame)
+            self.trace.count("fault.corrupt")
+        if link.duplicate > 0.0 and rng.random() < link.duplicate:
+            copy_delay = float(rng.uniform(0.0, plan.duplicate_window_s))
+            self.inner.schedule(copy_delay, _LateDelivery(self, node, sender_id, frame))
+            self.trace.count("fault.duplicate")
+        delay = 0.0
+        if link.reorder > 0.0 and rng.random() < link.reorder:
+            delay += float(rng.uniform(0.0, plan.reorder_window_s))
+            self.trace.count("fault.reorder")
+        if link.delay_jitter_s > 0.0:
+            delay += float(rng.uniform(0.0, link.delay_jitter_s))
+            self.trace.count("fault.delay")
+        if delay > 0.0:
+            self.inner.schedule(delay, _LateDelivery(self, node, sender_id, frame))
+        else:
+            self._deliver(node, sender_id, frame)
+
+    def _deliver(self, node: ReceiveEndpoint, sender_id: int, frame: bytes) -> None:
+        if not node.alive:
+            return
+        self.frames_delivered += 1
+        node.receive(sender_id, frame)
+
+    def _corrupt(self, frame: bytes) -> bytes:
+        """Flip one random byte (guaranteed to differ from the original)."""
+        if not frame:
+            return frame
+        index = int(self._rng.integers(0, len(frame)))
+        flipped = frame[index] ^ int(self._rng.integers(1, 256))
+        return frame[:index] + bytes([flipped]) + frame[index + 1 :]
+
+
+class _FaultedEndpoint:
+    """Registered in place of the real endpoint; routes deliveries
+    through the fault plan. Exposes the full ``ReceiveEndpoint``
+    surface, so inner transports (and the sim's node-app patching)
+    cannot tell it from a real node runtime."""
+
+    __slots__ = ("transport", "node", "id")
+
+    def __init__(self, transport: FaultInjectingTransport, node: ReceiveEndpoint) -> None:
+        self.transport = transport
+        self.node = node
+        self.id = node.id
+
+    @property
+    def alive(self) -> bool:
+        """Liveness of the real endpoint (crashes read through)."""
+        return self.node.alive
+
+    def receive(self, sender_id: int, frame: bytes) -> None:
+        """Delivery entry point: apply the fault plan, then forward."""
+        self.transport._inject(self.node, sender_id, frame)
+
+    #: Sim-transport delivery calls ``app.on_frame``; same path.
+    on_frame = receive
+
+
+class _CrashFire:
+    """Bound crash/restart timer event."""
+
+    __slots__ = ("transport", "node_id", "restart")
+
+    def __init__(self, transport: FaultInjectingTransport, node_id: int, restart: bool) -> None:
+        self.transport = transport
+        self.node_id = node_id
+        self.restart = restart
+
+    def __call__(self) -> None:
+        self.transport._fire_crash(self.node_id, self.restart)
+
+
+class _LateDelivery:
+    """Bound delayed/duplicated delivery event."""
+
+    __slots__ = ("transport", "node", "sender_id", "frame")
+
+    def __init__(
+        self,
+        transport: FaultInjectingTransport,
+        node: ReceiveEndpoint,
+        sender_id: int,
+        frame: bytes,
+    ) -> None:
+        self.transport = transport
+        self.node = node
+        self.sender_id = sender_id
+        self.frame = frame
+
+    def __call__(self) -> None:
+        self.transport._deliver(self.node, self.sender_id, self.frame)

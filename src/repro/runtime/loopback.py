@@ -10,9 +10,16 @@ the sim/loopback parity tests pin. With ``pace > 0`` each event waits the
 scaled wall-clock delta first, turning the deployment into a live,
 watchable system without touching protocol code.
 
-What the loopback fabric deliberately does **not** model: energy, link
-loss, collisions and CSMA (it is an ideal-MAC transport). Deployments
-needing those stay on :class:`~repro.runtime.transport.SimTransport`.
+The fabric itself is an ideal MAC: every broadcast reaches every alive
+neighbor, and energy, collisions and CSMA are not modeled (deployments
+needing the full radio model stay on
+:class:`~repro.runtime.transport.SimTransport`). Link loss, duplication,
+reordering, delay, corruption, crashes and partitions are *not* inherent
+limits, though — wrap the transport in
+:class:`~repro.runtime.faults.FaultInjectingTransport` with a
+:class:`~repro.runtime.faults.FaultPlan` (``deploy_live(...,
+fault_plan=...)``) to impose any of them, with the same per-delivery
+loss semantics as ``RadioConfig.loss_probability``.
 """
 
 from __future__ import annotations

@@ -69,6 +69,20 @@ class NodeRuntime:
         """Take the node offline (crash injection, battery death)."""
         self.alive = False
 
+    def offline(self) -> None:
+        """Crash hook: take the node down, keeping its state for a restart.
+
+        While offline the runtime neither transmits nor receives.
+        Distinct from :meth:`die` only in intent — fault plans
+        (:mod:`repro.runtime.faults`) pair it with :meth:`online` to
+        model a reboot rather than a permanent death.
+        """
+        self.alive = False
+
+    def online(self) -> None:
+        """Restart hook: bring a crashed node back up, state intact."""
+        self.alive = True
+
     # -- transport delivery entry point -------------------------------------
 
     def receive(self, sender_id: int, frame: bytes) -> None:

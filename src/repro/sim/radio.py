@@ -47,6 +47,9 @@ class RadioConfig:
     bitrate_bps: float = 19_200.0
     header_bytes: int = 11
     propagation_delay_s: float = 1e-6
+    #: Independent per-(sender, receiver) delivery drop probability —
+    #: the same semantics as a ``FaultPlan`` ``drop`` rate on the live
+    #: runtime (``FaultPlan.from_radio_config`` maps one to the other).
     loss_probability: float = 0.0
     model_collisions: bool = False
     mac: str = "ideal"
