@@ -13,6 +13,12 @@ Commands:
   print the gateway's JSON status snapshot; ``--metrics-out m.jsonl``
   additionally streams telemetry (events + periodic samples + a final
   summary) as JSON Lines;
+* ``serve`` — bring up a live deployment with the gateway query plane
+  attached: an HTTP/JSON API (``/status``, ``/nodes``, ``/readings``,
+  ``/metrics``, a cursor-resumable ``/updates`` stream) over a
+  continuously reporting mesh, with optional ``--peer`` federation so
+  several gateways each owning a mesh region answer for the whole
+  deployment (see docs/GATEWAY.md);
 * ``chaos`` — run a seeded fault-injection scenario on the live runtime
   (drop/duplicate/reorder/corrupt rates, crashes, partitions) and report
   the delivery ratio; ``--assert-delivery X`` exits nonzero below the
@@ -256,6 +262,58 @@ def _cmd_run_live(args: argparse.Namespace) -> int:
             },
         )
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.gateway.serve import LiveGateway, ServeOptions
+
+    try:
+        options = ServeOptions(
+            n=args.n,
+            density=args.density,
+            seed=args.seed,
+            transport=args.transport,
+            host=args.host,
+            port=args.port,
+            gateway_id=args.gateway_id,
+            region=args.region,
+            period_s=args.period,
+            rounds=args.rounds,
+            time_scale=args.time_scale,
+            peers=tuple(args.peer),
+            federation_period_s=args.fed_period,
+            federation_key=(
+                bytes.fromhex(args.federation_key) if args.federation_key else None
+            ),
+        )
+        options.validate()
+    except ValueError as exc:
+        print(f"invalid serve options: {exc}")
+        return 2
+    try:
+        gateway = LiveGateway.build(options)
+    except OSError as exc:
+        print(f"could not bind {args.host}:{args.port}: {exc}")
+        print("hint: pick a different --port (0 = ephemeral)")
+        return 1
+
+    gateway.start()
+    print(
+        f"gateway {options.gateway_id} serving {gateway.url} "
+        f"(n={options.n} {options.transport}, region={options.region}, "
+        f"peers={len(gateway.peers)})",
+        flush=True,
+    )
+    try:
+        gateway.run(duration_s=args.duration if args.duration > 0 else None)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.stop()
+    print(json.dumps(gateway.store.digest(), indent=2))
     return 0
 
 
@@ -508,6 +566,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="protocol seconds between metric samples (with --metrics-out)",
     )
     run_live.set_defaults(func=_cmd_run_live)
+
+    serve = sub.add_parser(
+        "serve", help="serve the gateway HTTP query API over a live deployment"
+    )
+    _add_common(serve)
+    serve.add_argument(
+        "--transport",
+        default="loopback",
+        metavar="{loopback,sim}",
+        help="backend the mesh runs on (default: loopback)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    serve.add_argument(
+        "--port", type=int, default=8440, help="HTTP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--gateway-id",
+        default="gw0",
+        help="this gateway's unique federation identity",
+    )
+    serve.add_argument(
+        "--region",
+        default="all",
+        metavar="all|mod:K/R|range:LO-HI",
+        help="which source ids this gateway ingests (default: all)",
+    )
+    serve.add_argument(
+        "--period", type=float, default=5.0, help="reporting period in protocol seconds"
+    )
+    serve.add_argument(
+        "--rounds", type=int, default=4, help="reports per source per workload cycle"
+    )
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=20.0,
+        help="protocol seconds advanced per wall second",
+    )
+    serve.add_argument(
+        "--peer",
+        action="append",
+        default=[],
+        metavar="URL",
+        help="peer gateway base URL to federate with, repeatable",
+    )
+    serve.add_argument(
+        "--fed-period",
+        type=float,
+        default=2.0,
+        help="wall seconds between federation pull rounds",
+    )
+    serve.add_argument(
+        "--federation-key",
+        default=None,
+        metavar="HEX",
+        help="pre-shared federation key (default: derived from the deployment)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="wall seconds to serve before exiting (0 = until interrupted)",
+    )
+    # Every sensor reports, so the serve default mesh is smaller than the
+    # common --n default (same reasoning as chaos).
+    serve.set_defaults(func=_cmd_serve, n=60)
 
     chaos = sub.add_parser(
         "chaos", help="run a seeded fault-injection scenario on a live deployment"

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.crypto.aead import AuthenticationError
 from repro.crypto.kdf import derive_cluster_key, refresh_key
@@ -96,6 +96,17 @@ class BaseStationAgent:
         #: Anti-replay per hop sender, like any node.
         self._last_seen_seq: dict[int, int] = {}
         self.delivered: list[DeliveredReading] = []
+        #: Incremental delivery accounting: kept in lockstep with
+        #: ``delivered`` so status consumers (the gateway query plane)
+        #: never scan the full log — O(1) even after millions of readings.
+        self.delivered_total = 0
+        self._sources_seen: set[int] = set()
+        #: Delivery-notification hooks: called with each accepted
+        #: :class:`DeliveredReading` the moment it is verified. This is
+        #: the seam the gateway query plane (:mod:`repro.gateway`)
+        #: ingests from; exceptions are the listener's problem, not the
+        #: protocol's, so register only non-raising callables.
+        self.delivery_listeners: list[Callable[[DeliveredReading], None]] = []
         self.rejected = 0
         self.revoked_cids: set[int] = set()
         #: Rejected-frame counts by claimed cluster id. The paper assumes
@@ -154,6 +165,32 @@ class BaseStationAgent:
         elif frame[0] == messages.REFRESH:
             self._on_refresh(frame)
         # Other traffic (setup, joins, its own revocations) is ignored.
+
+    def add_delivery_listener(
+        self, listener: Callable[[DeliveredReading], None]
+    ) -> None:
+        """Register ``listener`` to observe every accepted reading.
+
+        Listeners fire synchronously inside the accept path, after the
+        reading is appended to :attr:`delivered` — i.e. the reading they
+        see is already final. The gateway state store
+        (:class:`repro.gateway.store.GatewayStateStore`) attaches here.
+        """
+        self.delivery_listeners.append(listener)
+
+    @property
+    def distinct_sources(self) -> int:
+        """Number of distinct source nodes ever delivered — O(1)."""
+        return len(self._sources_seen)
+
+    def _record_delivery(self, reading: DeliveredReading) -> None:
+        """Append one accepted reading and fan it out to listeners."""
+        self.delivered.append(reading)
+        self.delivered_total += 1
+        self._sources_seen.add(reading.source)
+        self._trace.count("bs.delivered")
+        for listener in self.delivery_listeners:
+            listener(reading)
 
     def _reject(self, cid: int | None = None) -> None:
         """Count a rejected frame, attributed to its claimed cluster."""
@@ -244,12 +281,11 @@ class BaseStationAgent:
             self.rejected += 1
             return
         if not envelope.encrypted:
-            self.delivered.append(
+            self._record_delivery(
                 DeliveredReading(
                     self.node.now(), envelope.source, envelope.payload, False
                 )
             )
-            self._trace.count("bs.delivered")
             return
         try:
             node_key = self.registry.node_key(envelope.source)
@@ -270,10 +306,9 @@ class BaseStationAgent:
             self._trace.count("bs.drop_e2e_auth")
             self._reject()
             return
-        self.delivered.append(
+        self._record_delivery(
             DeliveredReading(self.node.now(), envelope.source, reading, True)
         )
-        self._trace.count("bs.delivered")
 
     def _on_refresh(self, frame: bytes) -> None:
         """Track recluster refreshes of clusters within earshot."""

@@ -41,8 +41,8 @@ class GatewayService:
         return self.bs.delivered
 
     def delivered_count(self) -> int:
-        """Number of accepted readings."""
-        return len(self.bs.delivered)
+        """Number of accepted readings — O(1) (incremental counter)."""
+        return self.bs.delivered_total
 
     @property
     def telemetry(self):
@@ -57,9 +57,14 @@ class GatewayService:
         histograms and event-buffer accounting — the same structure JSONL
         ``sample`` records embed, so console and stream consumers read
         one schema (docs/TELEMETRY.md).
+
+        Delivery totals come from the base station's incremental
+        counters, never from scanning ``bs.delivered`` — a status poll
+        stays O(1) in the number of readings ever delivered, which is
+        what lets the HTTP query plane (:mod:`repro.gateway`) poll it
+        per request.
         """
         clusters = cluster_assignment(self.deployed)
-        delivered = self.bs.delivered
         alive = sum(1 for a in self.deployed.agents.values() if a.node.alive)
         transport = getattr(self.deployed.network, "transport", None)
         snapshot = {
@@ -68,8 +73,8 @@ class GatewayService:
             "nodes": len(self.deployed.agents),
             "nodes_alive": alive,
             "clusters_formed": len(clusters),
-            "readings_delivered": len(delivered),
-            "distinct_sources": len({r.source for r in delivered}),
+            "readings_delivered": self.bs.delivered_total,
+            "distinct_sources": self.bs.distinct_sources,
             "readings_rejected": self.bs.rejected,
             "revoked_clusters": sorted(self.bs.revoked_cids),
             "suspicious_clusters": self.bs.suspicious_clusters(),
@@ -84,7 +89,19 @@ class GatewayService:
         return snapshot
 
     def to_json(self, indent: int | None = 2, **extra) -> str:
-        """The :meth:`status` snapshot as JSON, with optional extra keys."""
+        """The :meth:`status` snapshot as JSON, with optional extra keys.
+
+        Raises:
+            ValueError: an ``extra`` key collides with a snapshot key —
+                extras may only add sections, never silently overwrite
+                the status contract.
+        """
         snapshot = self.status()
+        clobbered = sorted(set(extra) & set(snapshot))
+        if clobbered:
+            raise ValueError(
+                f"extra keys {clobbered} collide with status snapshot keys; "
+                f"pick non-conflicting names (the snapshot schema is fixed)"
+            )
         snapshot.update(extra)
         return json.dumps(snapshot, indent=indent)

@@ -39,6 +39,10 @@ class NodeRuntime:
         self.alive = True
         #: The hosted application (protocol agent, BS agent, joiner, ...).
         self.app: Any = None
+        #: Passive receive taps, called after the app handles each frame.
+        #: The gateway query plane uses one on the base-station runtime to
+        #: track mesh ingress liveness without touching protocol code.
+        self.receive_listeners: list[Callable[[int, bytes], None]] = []
         self.frames_sent = 0
         self.frames_received = 0
         transport.register(self)
@@ -85,6 +89,15 @@ class NodeRuntime:
 
     # -- transport delivery entry point -------------------------------------
 
+    def add_receive_listener(self, listener: Callable[[int, bytes], None]) -> None:
+        """Register a passive tap on this runtime's delivered frames.
+
+        Listeners run after the hosted app's ``on_frame`` and must not
+        raise; they see the raw (still sealed) frame, so nothing secret
+        leaks through this hook.
+        """
+        self.receive_listeners.append(listener)
+
     def receive(self, sender_id: int, frame: bytes) -> None:
         """Deliver one frame up to the hosted application."""
         if not self.alive:
@@ -92,6 +105,8 @@ class NodeRuntime:
         self.frames_received += 1
         if self.app is not None:
             self.app.on_frame(sender_id, frame)
+        for listener in self.receive_listeners:
+            listener(sender_id, frame)
 
     #: NodeApp-compatible alias: under :class:`SimTransport` the sim node's
     #: ``app`` is this runtime, and sim delivery calls ``app.on_frame``.

@@ -1,0 +1,1 @@
+"""Tests for the gateway query plane (:mod:`repro.gateway`)."""

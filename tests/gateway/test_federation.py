@@ -1,0 +1,156 @@
+"""Federation: two region-sharded gateways converge to identical state."""
+
+import pytest
+
+from repro.gateway.api import GatewayApp, GatewayHttpServer
+from repro.gateway.federation import (
+    FederationError,
+    FederationPeer,
+    apply_pull_body,
+    derive_federation_key,
+    federate_once,
+    handle_pull,
+    pull_request_body,
+    sign_payload,
+    verify_payload,
+)
+from repro.gateway.store import GatewayStateStore, StateEntry, parse_region
+from repro.protocol.setup import deploy
+from repro.telemetry.registry import MetricsRegistry
+
+KEY = derive_federation_key(b"test-master-secret")
+
+
+def sharded_pair(seed=3, n=40):
+    """One deployment, two gateways each ingesting half the sources."""
+    deployed, _ = deploy(n, 10.0, seed=seed)
+    registry = deployed.network.trace.telemetry.registry
+    a = GatewayStateStore("gwA", region=parse_region("mod:0/2"), registry=registry)
+    b = GatewayStateStore("gwB", region=parse_region("mod:1/2"), registry=MetricsRegistry())
+    deployed.bs_agent.add_delivery_listener(a.ingest)
+    deployed.bs_agent.add_delivery_listener(b.ingest)
+    return deployed, a, b
+
+
+def drive_workload(deployed, rounds=2):
+    from repro.workloads import PeriodicReporting
+
+    sources = [nid for nid, a in deployed.agents.items() if a.state.hops_to_bs > 0]
+    workload = PeriodicReporting(deployed, sources, period_s=5.0, rounds=rounds)
+    workload.start()
+    deployed.run_for(workload.duration_s + 10.0)
+    return sources
+
+
+def wire_snapshots(store):
+    return [entry.to_wire() for entry in store.snapshot()]
+
+
+# -- the headline property ---------------------------------------------------
+
+
+def test_sharded_gateways_converge_to_identical_state():
+    deployed, a, b = sharded_pair()
+    drive_workload(deployed)
+    # Before sync each gateway only knows its own half.
+    assert a.node_ids() and b.node_ids()
+    assert not set(a.node_ids()) & set(b.node_ids())
+    applied_a, applied_b = federate_once(a, b, KEY)
+    assert applied_a and applied_b
+    assert wire_snapshots(a) == wire_snapshots(b)
+    assert a.vector_snapshot() == b.vector_snapshot()
+    assert set(a.node_ids()) == set(a.node_ids()) | set(b.node_ids())
+    # The gateway.* metric contract: emitted into the deployment registry.
+    counters = deployed.network.trace.telemetry.registry.counters
+    for name in (
+        "gateway.ingest.readings",
+        "gateway.ingest.filtered",
+        "gateway.store.applied",
+        "gateway.federation.pulls",
+        "gateway.federation.entries_applied",
+        "gateway.federation.entries_sent",
+    ):
+        assert counters[name] > 0, name
+
+
+def test_federation_is_idempotent_and_order_independent():
+    deployed, a, b = sharded_pair(seed=4)
+    drive_workload(deployed, rounds=1)
+    federate_once(a, b, KEY)
+    snapshot = wire_snapshots(a)
+    # Replaying sync rounds in either direction changes nothing.
+    applied_a, applied_b = federate_once(a, b, KEY)
+    assert (applied_a, applied_b) == (0, 0)
+    federate_once(b, a, KEY)
+    assert wire_snapshots(a) == wire_snapshots(b) == snapshot
+
+
+def test_new_readings_after_sync_flow_on_next_pull():
+    deployed, a, b = sharded_pair(seed=5)
+    drive_workload(deployed, rounds=1)
+    federate_once(a, b, KEY)
+    drive_workload(deployed, rounds=1)  # fresh readings on both halves
+    assert wire_snapshots(a) != wire_snapshots(b)
+    federate_once(a, b, KEY)
+    assert wire_snapshots(a) == wire_snapshots(b)
+
+
+# -- over real HTTP ----------------------------------------------------------
+
+
+def test_pull_over_http_converges_and_counts_metrics():
+    deployed, a, b = sharded_pair(seed=6)
+    drive_workload(deployed, rounds=1)
+    with GatewayHttpServer(GatewayApp(b, federation_key=KEY)) as server:
+        peer = FederationPeer(server.url, KEY)
+        applied, stale = peer.pull(a)
+    assert applied == len(b.node_ids()) and stale == 0
+    assert set(a.node_ids()) >= set(b.node_ids())
+    assert a.registry.counter("gateway.federation.pulls") == 1
+
+
+def test_pull_against_dead_peer_raises_federation_error():
+    store = GatewayStateStore("gwA")
+    peer = FederationPeer("http://127.0.0.1:9", KEY, timeout_s=0.5)
+    with pytest.raises(FederationError):
+        peer.pull(store)
+
+
+# -- authenticity ------------------------------------------------------------
+
+
+def test_tampered_pull_request_is_rejected():
+    store = GatewayStateStore("gwB")
+    store.merge([StateEntry(1, b"x", 1.0, "gwB", 1, True)])
+    body = pull_request_body(GatewayStateStore("gwA"), KEY)
+    body["payload"]["vector"] = {"gwB": 999}  # tamper after signing
+    with pytest.raises(FederationError):
+        handle_pull(store, KEY, body)
+    assert store.registry.counter("gateway.federation.auth_failures") == 1
+
+
+def test_tampered_delta_is_not_merged():
+    a = GatewayStateStore("gwA")
+    b = GatewayStateStore("gwB")
+    b.merge([StateEntry(1, b"x", 1.0, "gwB", 1, True)])
+    response = handle_pull(b, KEY, pull_request_body(a, KEY))
+    response["payload"]["entries"][0]["payload"] = b"evil".hex()
+    with pytest.raises(FederationError):
+        apply_pull_body(a, KEY, response)
+    assert a.node_ids() == []  # nothing merged from a forged message
+    assert a.registry.counter("gateway.federation.auth_failures") == 1
+
+
+def test_wrong_key_fails_verification():
+    other = derive_federation_key(b"some-other-master")
+    payload = {"gateway": "gwA", "vector": {}}
+    tag = sign_payload(KEY, payload)
+    assert verify_payload(KEY, payload, tag)
+    assert not verify_payload(other, payload, tag)
+    assert not verify_payload(KEY, payload, "not-hex")
+
+
+def test_derived_keys_are_domain_separated_and_deterministic():
+    master = b"m" * 16
+    assert derive_federation_key(master) == derive_federation_key(master)
+    assert derive_federation_key(master) != derive_federation_key(b"n" * 16)

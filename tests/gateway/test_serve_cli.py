@@ -1,0 +1,92 @@
+"""``repro serve``: options validation, the live loop, CLI smoke."""
+
+import json
+import urllib.request
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.gateway.federation import FederationPeer
+from repro.gateway.serve import LiveGateway, ServeOptions
+
+FAST = ServeOptions(n=16, density=10.0, seed=1, port=0, time_scale=50.0)
+
+
+def http_get(url):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return json.loads(response.read().decode())
+
+
+def test_options_validation():
+    with pytest.raises(ValueError, match="transport"):
+        ServeOptions(transport="udp").validate()
+    with pytest.raises(ValueError, match="region"):
+        ServeOptions(region="bogus").validate()
+    with pytest.raises(ValueError, match="rounds"):
+        ServeOptions(rounds=0).validate()
+    with pytest.raises(ValueError, match="time_scale"):
+        ServeOptions(time_scale=0).validate()
+    FAST.validate()
+
+
+def test_cli_rejects_bad_args():
+    assert main(["serve", "--region", "bogus"]) == 2
+    assert main(["serve", "--transport", "udp"]) == 2
+    assert main(["serve", "--federation-key", "not-hex"]) == 2
+
+
+def test_live_gateway_serves_queries_while_mesh_runs():
+    gateway = LiveGateway.build(FAST)
+    try:
+        gateway.start()
+        for _ in range(3):  # ~90 protocol seconds: several reporting rounds
+            gateway._drive_once(30.0)
+        status = http_get(gateway.url + "/status")
+        assert status["deployment"]["readings_delivered"] > 0
+        assert status["store"]["nodes"] > 0
+        nodes = http_get(gateway.url + "/nodes")
+        assert nodes["count"] == status["store"]["nodes"]
+        metrics = http_get(gateway.url + "/metrics")
+        counters = metrics["counters"]
+        assert counters["gateway.ingest.readings"] > 0
+        assert counters["gateway.ingest.frames"] > 0
+        updates = http_get(gateway.url + "/updates?cursor=0&limit=5")
+        assert len(updates["updates"]) == 5
+    finally:
+        gateway.stop()
+
+
+def test_two_live_gateways_federate():
+    # Same seed -> same topology and master secret, so the two serve
+    # processes derive the same federation PSK; each ingests one parity.
+    a = LiveGateway.build(replace(FAST, gateway_id="gwA", region="mod:0/2"))
+    b = LiveGateway.build(replace(FAST, gateway_id="gwB", region="mod:1/2"))
+    try:
+        a.start()
+        b.start()
+        for _ in range(3):
+            a._drive_once(30.0)
+            b._drive_once(30.0)
+        assert not set(a.store.node_ids()) & set(b.store.node_ids())
+        a.peers.append(FederationPeer(b.url, a.app._federation_key))
+        b.peers.append(FederationPeer(a.url, b.app._federation_key))
+        a._federate_once()
+        b._federate_once()
+        assert set(a.store.node_ids()) == set(b.store.node_ids())
+        assert a.store.vector_snapshot() == b.store.vector_snapshot()
+    finally:
+        a.stop()
+        b.stop()
+
+
+def test_cli_serve_smoke(capsys):
+    assert main([
+        "serve", "--n", "16", "--seed", "1", "--port", "0",
+        "--duration", "2", "--time-scale", "50",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving http://" in out
+    digest = json.loads(out[out.index("{"):])
+    assert digest["gateway"] == "gw0"
+    assert digest["vector"].get("gw0", 0) > 0

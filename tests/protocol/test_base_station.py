@@ -155,3 +155,26 @@ def test_counter_window_unit():
     assert 21 in w.candidates()
     with pytest.raises(ValueError):
         CounterWindow(0)
+
+
+def test_delivery_listeners_see_every_accepted_reading():
+    deployed = small_deployment(seed=75)
+    seen = []
+    deployed.bs_agent.add_delivery_listener(seen.append)
+    src = pick_source(deployed)
+    deployed.agents[src].send_reading(b"observed")
+    run_for(deployed, 30)
+    assert seen == deployed.bs_agent.delivered
+    assert any(r.data == b"observed" and r.source == src for r in seen)
+
+
+def test_incremental_totals_track_the_delivery_log():
+    deployed = small_deployment(seed=76)
+    sources = [nid for nid, a in deployed.agents.items()
+               if a.state.hops_to_bs > 0][:4]
+    for src in sources:
+        deployed.agents[src].send_reading(b"count-me")
+    run_for(deployed, 30)
+    bs = deployed.bs_agent
+    assert bs.delivered_total == len(bs.delivered) > 0
+    assert bs.distinct_sources == len({r.source for r in bs.delivered})
