@@ -13,10 +13,13 @@ Usage::
 
     python scripts/bench_compare.py BASELINE.json FRESH.json --tolerance 0.5
 
-Both crypto payloads (``benchmark: crypto_kernels``; rows keyed by
-(cipher, blocks), every ``*_per_s`` field compared) and runtime payloads
+Three payload kinds are understood: crypto payloads
+(``benchmark: crypto_kernels``; rows keyed by (cipher, blocks), every
+``*_per_s`` field compared), runtime payloads
 (``benchmark: runtime_setup_throughput``; rows keyed by (transport, n),
-``events_per_s`` compared) are understood.
+``events_per_s`` compared), and forwarding payloads
+(``benchmark: forwarding_soak``; codec rows keyed by (cipher, batch),
+soak rows by (n, loss), ``*_per_s`` fields compared).
 
 A row or rate field present in only one payload is a *mismatch*: it
 means a bench was renamed, added or dropped without updating the
@@ -52,6 +55,11 @@ def _rows(payload: dict) -> dict[tuple, dict]:
     elif kind == "runtime_setup_throughput":
         for row in payload.get("results", ()):
             indexed[("setup", row["transport"], row["n"])] = row
+    elif kind == "forwarding_soak":
+        for row in payload.get("codec", ()):
+            indexed[("codec", row["cipher"], row["batch"])] = row
+        for row in payload.get("soak", ()):
+            indexed[("soak", row["n"], row["loss"])] = row
     else:
         raise ValueError(f"unrecognized benchmark payload: {kind!r}")
     return indexed

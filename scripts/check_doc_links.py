@@ -31,8 +31,12 @@ IGNORED_SPANS = {"metrics.jsonl", "m.jsonl", "live_metrics.jsonl"}
 
 
 def doc_files() -> list[Path]:
-    """The markdown set under check: top-level README/DESIGN plus docs/."""
-    files = [ROOT / "README.md", ROOT / "DESIGN.md"]
+    """The markdown set under check.
+
+    Top-level README/DESIGN, everything in docs/, and the examples
+    catalogue (whose script references resolve relative to examples/).
+    """
+    files = [ROOT / "README.md", ROOT / "DESIGN.md", ROOT / "examples" / "README.md"]
     files.extend(sorted((ROOT / "docs").glob("*.md")))
     return [f for f in files if f.exists()]
 

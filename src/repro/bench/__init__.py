@@ -1,0 +1,30 @@
+"""Performance benchmarks behind ``python -m repro bench ...``.
+
+Two benchmark families, each writing a machine-readable ``BENCH_*.json``
+payload at the repo root that ``scripts/bench_compare.py`` gates CI
+against (docs/BENCHMARKS.md is the handbook for all of them):
+
+* :mod:`repro.bench.crypto` — keystream-kernel and frame-path
+  microbenchmarks (``BENCH_crypto.json``);
+* :mod:`repro.bench.forwarding` — sustained-forwarding soak plus the
+  batched-codec micro rows (``BENCH_forwarding.json``).
+
+``BENCH_runtime.json`` (setup throughput) lives in
+``benchmarks/test_runtime_throughput.py``, driven by pytest.
+"""
+
+from repro.bench.crypto import bench_crypto, render_bench_crypto, write_bench_crypto
+from repro.bench.forwarding import (
+    bench_forwarding,
+    render_bench_forwarding,
+    write_bench_forwarding,
+)
+
+__all__ = [
+    "bench_crypto",
+    "bench_forwarding",
+    "render_bench_crypto",
+    "render_bench_forwarding",
+    "write_bench_crypto",
+    "write_bench_forwarding",
+]

@@ -432,6 +432,17 @@ def _cmd_bench_crypto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_forwarding(args: argparse.Namespace) -> int:
+    from repro.bench import render_bench_forwarding, write_bench_forwarding
+
+    payload = write_bench_forwarding(
+        args.out, quick=args.quick, n=args.n, density=args.density, seed=args.seed
+    )
+    print(render_bench_forwarding(payload))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_metrics_summarize(args: argparse.Namespace) -> int:
     import json
 
@@ -720,6 +731,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="fewer repetitions — noisier, for CI smoke runs",
     )
     bench_crypto.set_defaults(func=_cmd_bench_crypto)
+    bench_fwd = bench_sub.add_parser(
+        "forwarding",
+        help="soak the data plane at 0%%/15%% loss; write BENCH_forwarding.json",
+    )
+    bench_fwd.add_argument(
+        "--out",
+        default="BENCH_forwarding.json",
+        metavar="PATH",
+        help="where to write the JSON payload (default: BENCH_forwarding.json)",
+    )
+    bench_fwd.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter soak and fewer repetitions — noisier, for CI smoke runs",
+    )
+    bench_fwd.add_argument(
+        "--n", type=int, default=100, help="deployment size (default: 100)"
+    )
+    bench_fwd.add_argument(
+        "--density", type=float, default=10.0, help="mean neighbors per node"
+    )
+    bench_fwd.add_argument("--seed", type=int, default=0, help="deployment seed")
+    bench_fwd.set_defaults(func=_cmd_bench_forwarding)
 
     lint = sub.add_parser(
         "lint", help="ldplint: static analysis of the paper's security invariants"

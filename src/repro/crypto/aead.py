@@ -22,11 +22,12 @@ the batched kernels selected by ``AeadConfig.backend`` (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.crypto.block import get_cipher
 from repro.crypto.kdf import ENCRYPT_USAGE, MAC_USAGE, derive_usage_key
 from repro.crypto.mac import DEFAULT_TAG_LEN, mac_parts, verify_parts
-from repro.crypto.modes import ctr_decrypt, ctr_encrypt
+from repro.crypto.modes import ctr_decrypt, ctr_encrypt, ctr_encrypt_many
 from repro.crypto.stats import STATS
 
 
@@ -99,6 +100,91 @@ def open_(
         raise AuthenticationError("MAC verification failed")
     cipher = get_cipher(config.cipher, k_encr)
     return ctr_decrypt(cipher, counter, ct, config.backend)
+
+
+def _associated_list(
+    associated_data: "bytes | Sequence[bytes]", n: int
+) -> "Sequence[bytes]":
+    """Normalize scalar-or-per-message associated data to one AD per message."""
+    if isinstance(associated_data, (bytes, bytearray, memoryview)):
+        return [bytes(associated_data)] * n
+    ads = list(associated_data)
+    if len(ads) != n:
+        raise ValueError(f"got {len(ads)} associated-data items for {n} messages")
+    return ads
+
+
+def seal_many(
+    key: bytes,
+    counters: Sequence[int],
+    plaintexts: Sequence[bytes],
+    associated_data: "bytes | Sequence[bytes]" = b"",
+    config: AeadConfig = AeadConfig(),
+) -> list[bytes]:
+    """:func:`seal` a burst of messages under one key in a single dispatch.
+
+    Byte-identical to ``[seal(key, c, p, ad, config) for ...]`` (pinned
+    by the batched-parity tests), but the per-burst fixed costs are paid
+    once: usage-key derivation and cipher resolution happen a single
+    time, the CTR keystream for every message comes from one batched
+    kernel call (:func:`repro.crypto.modes.ctr_encrypt_many`), and each
+    tag resumes from the cached per-key HMAC pad midstates.
+
+    ``associated_data`` may be one byte string shared by every message or
+    a sequence with one entry per message (the DATA hop path, where each
+    frame authenticates its own clear header).
+    """
+    n = len(plaintexts)
+    if len(counters) != n:
+        raise ValueError(f"got {len(counters)} counters for {n} plaintexts")
+    ads = _associated_list(associated_data, n)
+    STATS.seals += n
+    k_encr = derive_usage_key(key, ENCRYPT_USAGE)
+    k_mac = derive_usage_key(key, MAC_USAGE)
+    cipher = get_cipher(config.cipher, k_encr)
+    cts = ctr_encrypt_many(cipher, list(counters), list(plaintexts), config.backend)
+    out = []
+    for counter, ad, ct in zip(counters, ads, cts):
+        tag = mac_parts(k_mac, (_mac_header(config, ad, counter), ct), config.tag_len)
+        out.append(ct + tag)
+    return out
+
+
+def open_many(
+    key: bytes,
+    counters: Sequence[int],
+    sealed: Sequence[bytes],
+    associated_data: "bytes | Sequence[bytes]" = b"",
+    config: AeadConfig = AeadConfig(),
+) -> list[bytes]:
+    """Verify and decrypt a burst of :func:`seal` outputs (all-or-nothing).
+
+    Verify-then-decrypt across the whole burst: every tag is checked
+    first (each in constant time), and only when *all* verify does the
+    single batched keystream dispatch decrypt the burst — no plaintext
+    for any message is produced if one frame fails.
+
+    Raises:
+        AuthenticationError: naming the offending burst index, on any bad
+            tag or truncated input.
+    """
+    n = len(sealed)
+    if len(counters) != n:
+        raise ValueError(f"got {len(counters)} counters for {n} messages")
+    ads = _associated_list(associated_data, n)
+    STATS.opens += n
+    k_encr = derive_usage_key(key, ENCRYPT_USAGE)
+    k_mac = derive_usage_key(key, MAC_USAGE)
+    cts: list[bytes] = []
+    for i, (counter, ad, blob) in enumerate(zip(counters, ads, sealed)):
+        if len(blob) < config.tag_len:
+            raise AuthenticationError(f"message {i} shorter than its MAC tag")
+        ct, tag = blob[: -config.tag_len], blob[-config.tag_len :]
+        if not verify_parts(k_mac, (_mac_header(config, ad, counter), ct), tag):
+            raise AuthenticationError(f"MAC verification failed for message {i}")
+        cts.append(ct)
+    cipher = get_cipher(config.cipher, k_encr)
+    return ctr_encrypt_many(cipher, list(counters), cts, config.backend)
 
 
 def _mac_header(config: AeadConfig, associated_data: bytes, counter: int) -> bytes:

@@ -33,14 +33,14 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.crypto.aead import AeadConfig, AuthenticationError, open_, seal
+from repro.crypto.aead import AeadConfig, AuthenticationError, open_, seal, seal_many
 from repro.crypto.kdf import prf
 from repro.crypto.sha256 import sha256_fast
 from repro.protocol.messages import (
+    DataFrameAssembler,
     DataHeader,
     data_associated_data,
-    decode_data,
-    encode_data,
+    decode_data_view,
 )
 
 _AD_E2E = b"e2e"
@@ -250,6 +250,12 @@ def hop_key(cluster_key: bytes, sender: int) -> bytes:
     return prf(cluster_key, _HOP_LABEL + struct.pack(">I", sender))
 
 
+#: Shared frame-assembly scratch for the forwarding hot path. The runtime
+#: is single-threaded per deployment (event-loop driven), which is what
+#: makes one module-level scratch buffer safe; see DataFrameAssembler.
+_ASSEMBLER = DataFrameAssembler()
+
+
 def wrap_hop(
     cluster_key: bytes,
     cid: int,
@@ -264,7 +270,43 @@ def wrap_hop(
     header = DataHeader(cid=cid, sender=sender, seq=seq, hops_to_bs=hops_to_bs)
     plaintext = _TAU.pack(max(0, int(tau_s * 1e6))) + c1
     sealed = seal(hop_key(cluster_key, sender), seq, plaintext, data_associated_data(header), aead)
-    return encode_data(header, sealed)
+    return _ASSEMBLER.assemble(header, sealed)
+
+
+def wrap_hop_many(
+    cluster_key: bytes,
+    cid: int,
+    sender: int,
+    start_seq: int,
+    hops_to_bs: int,
+    tau_s: float,
+    c1s: "list[bytes]",
+    aead: AeadConfig,
+) -> list[bytes]:
+    """Apply Step 2 to a burst of inner blobs with one batched seal.
+
+    Produces exactly what ``[wrap_hop(..., start_seq + i, ..., c1s[i], ...)
+    for i in ...]`` would (parity-pinned), but the whole burst shares one
+    hop-key derivation, one AEAD usage-key/cipher resolution, and one
+    batched keystream dispatch (:func:`repro.crypto.aead.seal_many`) —
+    the data-plane fast path a node draining its forward queue uses.
+    Sequence numbers are consecutive from ``start_seq``; all frames share
+    the burst timestamp ``tau_s``.
+    """
+    key = hop_key(cluster_key, sender)
+    tau = _TAU.pack(max(0, int(tau_s * 1e6)))
+    headers = [
+        DataHeader(cid=cid, sender=sender, seq=start_seq + i, hops_to_bs=hops_to_bs)
+        for i in range(len(c1s))
+    ]
+    sealed = seal_many(
+        key,
+        [h.seq for h in headers],
+        [tau + c1 for c1 in c1s],
+        [data_associated_data(h) for h in headers],
+        aead,
+    )
+    return [_ASSEMBLER.assemble(h, s) for h, s in zip(headers, sealed)]
 
 
 def unwrap_hop(
@@ -280,7 +322,7 @@ def unwrap_hop(
         AuthenticationError: tag failure (tampered/unknown key).
         StaleMessage: τ outside the freshness window.
     """
-    header, sealed = decode_data(frame)
+    header, sealed = decode_data_view(frame)
     plaintext = open_(
         hop_key(cluster_key, header.sender),
         header.seq,

@@ -5,12 +5,13 @@ character grid of the field where each node is drawn with a symbol
 derived from its cluster id, the base station as ``@``, and dead or
 orphaned nodes as ``x``. Adjacent same-symbol characters are (almost
 always) the same cluster, which makes the paper's "small localized
-clusters" directly visible in a terminal.
+clusters" directly visible in a terminal. Also home to the generic
+horizontal bar chart the benchmark reports render with.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -56,3 +57,32 @@ def cluster_map(deployed: "DeployedProtocol", width: int = 72) -> str:
         f"radio range {deployment.radius:.0f} m ('@' = base station)"
     )
     return header + "\n" + "\n".join(lines)
+
+
+def bar_chart(
+    rows: "Sequence[tuple[str, float]]",
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """Horizontal ASCII bars for labeled values, scaled to the maximum.
+
+    One line per ``(label, value)`` pair: right-aligned label, a bar of
+    ``#`` proportional to ``value / max(values)``, then the value itself
+    (with ``unit`` appended). Non-positive values render as an empty bar,
+    so mixed zero/positive inputs stay legible. Used by the benchmark
+    report examples (``examples/soak_report.py``).
+    """
+    if not rows:
+        return "(no data)"
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    label_w = max(len(label) for label, _ in rows)
+    peak = max(value for _, value in rows)
+    lines = []
+    for label, value in rows:
+        filled = int(round(width * value / peak)) if peak > 0 and value > 0 else 0
+        suffix = f" {unit}" if unit else ""
+        lines.append(
+            f"{label:>{label_w}} |{'#' * filled:<{width}}| {value:,.2f}{suffix}"
+        )
+    return "\n".join(lines)

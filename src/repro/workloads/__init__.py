@@ -1,0 +1,46 @@
+"""Reusable traffic workloads and sensor-stream generators.
+
+Three workload families drive a deployed protocol:
+
+* :class:`PeriodicReporting` / :class:`PoissonEvents`
+  (:mod:`repro.workloads.traffic`) — duty-cycle and event-driven traffic,
+  the shapes the experiments and chaos scenarios use;
+* :class:`SoakWorkload` (:mod:`repro.workloads.soak`) — constant offered
+  load for a fixed duration, the engine of ``repro bench forwarding``;
+* :mod:`repro.workloads.streams` — composable per-node signal generators
+  (wave, spike, trend, random walk, categorical) supplying realistic
+  payload values to any of the above.
+
+docs/WORKLOADS.md is the operator-facing handbook for all of this.
+"""
+
+from repro.workloads.soak import SoakStats, SoakWorkload
+from repro.workloads.streams import (
+    CategoricalStream,
+    CompositeStream,
+    RandomWalkStream,
+    SensorStream,
+    SpikeStream,
+    TrendStream,
+    WaveStream,
+    default_node_stream,
+    node_seed,
+)
+from repro.workloads.traffic import PeriodicReporting, PoissonEvents, SentRecord
+
+__all__ = [
+    "CategoricalStream",
+    "CompositeStream",
+    "PeriodicReporting",
+    "PoissonEvents",
+    "RandomWalkStream",
+    "SensorStream",
+    "SentRecord",
+    "SoakStats",
+    "SoakWorkload",
+    "SpikeStream",
+    "TrendStream",
+    "WaveStream",
+    "default_node_stream",
+    "node_seed",
+]

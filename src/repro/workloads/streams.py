@@ -1,0 +1,237 @@
+"""Composable sensor-stream generators for realistic data-plane traffic.
+
+The paper's evaluation stops at the key-setup phase; the soak benchmark
+and the long-running examples need *payloads that look like sensor data*
+so delivery, dedup and fusion behave the way they would in a deployment.
+Five elementary shapes (the classic sensor-signal decomposition):
+
+* :class:`WaveStream` — diurnal/periodic component (temperature cycles);
+* :class:`SpikeStream` — Poisson transient events with exponential decay
+  (motion triggers, acoustic bursts);
+* :class:`TrendStream` — slow linear drift (battery droop, silt build-up);
+* :class:`RandomWalkStream` — integrated Gaussian noise (sensor drift);
+* :class:`CategoricalStream` — discrete state levels held for random
+  durations (door open/closed, valve position).
+
+:class:`CompositeStream` sums any of them. Every stream exposes one
+method, ``sample(t)``, mapping a *protocol-time* instant to a float
+reading, and every stochastic stream draws from its own
+``numpy.random.Generator`` seeded at construction — same seed, same call
+sequence, same values, on any platform (the determinism contract pinned
+by ``tests/protocol/test_streams.py``). Stateful streams
+(:class:`SpikeStream`, :class:`RandomWalkStream`,
+:class:`CategoricalStream`) require non-decreasing ``t`` across calls,
+which is how every scheduler in this repo drives them.
+
+See docs/WORKLOADS.md for the full catalogue, parameter guidance and the
+recipe for adding a new stream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SensorStream",
+    "WaveStream",
+    "SpikeStream",
+    "TrendStream",
+    "RandomWalkStream",
+    "CategoricalStream",
+    "CompositeStream",
+    "node_seed",
+    "default_node_stream",
+]
+
+
+class SensorStream(Protocol):
+    """Anything that maps a protocol-time instant to one float reading."""
+
+    def sample(self, t: float) -> float:
+        """The stream's value at protocol time ``t`` (seconds)."""
+        ...
+
+
+class WaveStream:
+    """Deterministic sinusoid: ``offset + amplitude * sin(2πt/period + phase)``.
+
+    The periodic component of a sensor signal (diurnal temperature,
+    tides). Purely a function of ``t`` — no randomness, no state.
+    """
+
+    def __init__(
+        self,
+        amplitude: float = 1.0,
+        period_s: float = 60.0,
+        phase: float = 0.0,
+        offset: float = 0.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be > 0")
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self.phase = phase
+        self.offset = offset
+
+    def sample(self, t: float) -> float:
+        """The sinusoid's value at time ``t``."""
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * t / self.period_s + self.phase
+        )
+
+
+class TrendStream:
+    """Deterministic linear drift: ``intercept + slope_per_s * t``."""
+
+    def __init__(self, slope_per_s: float = 0.01, intercept: float = 0.0) -> None:
+        self.slope_per_s = slope_per_s
+        self.intercept = intercept
+
+    def sample(self, t: float) -> float:
+        """The trend's value at time ``t``."""
+        return self.intercept + self.slope_per_s * t
+
+
+class SpikeStream:
+    """Poisson transients: spikes of ``amplitude`` decaying with ``decay_s``.
+
+    Spike arrivals form a Poisson process of rate ``rate_per_s`` drawn
+    lazily from the stream's own generator as ``t`` advances; the value
+    at ``t`` is the sum of ``amplitude * exp(-(t - t_spike)/decay_s)``
+    over past spikes (spikes older than ~9 decay constants are dropped —
+    below 1e-4 of their amplitude). Requires non-decreasing ``t``.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float = 0.05,
+        amplitude: float = 10.0,
+        decay_s: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if rate_per_s <= 0 or decay_s <= 0:
+            raise ValueError("rate_per_s and decay_s must be > 0")
+        self.rate_per_s = rate_per_s
+        self.amplitude = amplitude
+        self.decay_s = decay_s
+        self._rng = np.random.default_rng(seed)
+        self._active: list[float] = []  # spike arrival times still relevant
+        self._next_arrival = float(self._rng.exponential(1.0 / rate_per_s))
+
+    def sample(self, t: float) -> float:
+        """Summed decayed spike amplitude at time ``t`` (non-decreasing)."""
+        while self._next_arrival <= t:
+            self._active.append(self._next_arrival)
+            self._next_arrival += float(self._rng.exponential(1.0 / self.rate_per_s))
+        horizon = t - 9.0 * self.decay_s
+        self._active = [ts for ts in self._active if ts > horizon]
+        return self.amplitude * sum(
+            math.exp(-(t - ts) / self.decay_s) for ts in self._active
+        )
+
+
+class RandomWalkStream:
+    """Integrated Gaussian noise: steps ``N(0, sigma² · Δt)`` per sample.
+
+    The scaling by the elapsed time between samples makes the walk's
+    variance depend on how long the stream has run, not on how often it
+    was sampled — the discretization of a Wiener process. Requires
+    non-decreasing ``t``.
+    """
+
+    def __init__(self, sigma: float = 0.5, start: float = 0.0, seed: int = 0) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        self.sigma = sigma
+        self._value = start
+        self._last_t: float | None = None
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, t: float) -> float:
+        """The walk's value at time ``t`` (non-decreasing)."""
+        if self._last_t is not None:
+            dt = t - self._last_t
+            if dt > 0:
+                self._value += float(
+                    self._rng.normal(0.0, self.sigma * math.sqrt(dt))
+                )
+        self._last_t = t
+        return self._value
+
+
+class CategoricalStream:
+    """Discrete levels held for exponentially distributed durations.
+
+    Models state-like sensors (door contact, valve position): the stream
+    holds one of ``levels`` for an exponential duration of mean
+    ``mean_hold_s``, then jumps to a uniformly chosen level. Readings are
+    floats because the wire format carries floats; use integer levels for
+    true categories. Requires non-decreasing ``t``.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+        mean_hold_s: float = 10.0,
+        seed: int = 0,
+    ) -> None:
+        if not levels:
+            raise ValueError("levels must be non-empty")
+        if mean_hold_s <= 0:
+            raise ValueError("mean_hold_s must be > 0")
+        self.levels = tuple(float(v) for v in levels)
+        self.mean_hold_s = mean_hold_s
+        self._rng = np.random.default_rng(seed)
+        self._current = self.levels[int(self._rng.integers(len(self.levels)))]
+        self._until = float(self._rng.exponential(mean_hold_s))
+
+    def sample(self, t: float) -> float:
+        """The held level at time ``t`` (non-decreasing)."""
+        while t >= self._until:
+            self._current = self.levels[int(self._rng.integers(len(self.levels)))]
+            self._until += float(self._rng.exponential(self.mean_hold_s))
+        return self._current
+
+
+class CompositeStream:
+    """Sum of component streams — the additive sensor-signal model."""
+
+    def __init__(self, streams: Sequence[SensorStream]) -> None:
+        if not streams:
+            raise ValueError("streams must be non-empty")
+        self.streams = tuple(streams)
+
+    def sample(self, t: float) -> float:
+        """Sum of every component's value at time ``t``."""
+        return sum(stream.sample(t) for stream in self.streams)
+
+
+def node_seed(seed: int, node_id: int) -> int:
+    """Derived per-node stream seed, decorrelated across nodes.
+
+    ``numpy.random.SeedSequence`` spawning guarantees independent streams
+    for distinct ``(seed, node_id)`` pairs — unlike ``seed + node_id``,
+    which makes neighboring nodes' streams overlap.
+    """
+    return int(np.random.SeedSequence([seed, node_id]).generate_state(1)[0])
+
+
+def default_node_stream(seed: int, node_id: int) -> CompositeStream:
+    """The soak benchmark's per-node signal: wave + trend + walk + spikes.
+
+    Each node gets the same shape family with decorrelated randomness
+    (via :func:`node_seed`) and a node-dependent phase so the field does
+    not report in lockstep.
+    """
+    s = node_seed(seed, node_id)
+    return CompositeStream(
+        [
+            WaveStream(amplitude=5.0, period_s=120.0, phase=(node_id % 17) / 17 * 6.28),
+            TrendStream(slope_per_s=0.002, intercept=20.0),
+            RandomWalkStream(sigma=0.2, seed=s),
+            SpikeStream(rate_per_s=0.02, amplitude=8.0, decay_s=4.0, seed=s ^ 1),
+        ]
+    )

@@ -1,0 +1,147 @@
+"""Batched seal/open and the burst CTR path are byte-identical to scalar.
+
+The data-plane hot path (seal_many / open_many / ctr_encrypt_many /
+keystream_segments / the HMAC midstate cache) exists purely as an
+optimization: every output byte must match the scalar reference path.
+These tests pin that, plus the error semantics of the batched entry
+points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import kernels
+from repro.crypto.aead import (
+    AeadConfig,
+    AuthenticationError,
+    open_,
+    open_many,
+    seal,
+    seal_many,
+)
+from repro.crypto.block import get_cipher
+from repro.crypto.kdf import ENCRYPT_USAGE, derive_usage_key
+from repro.crypto.mac import hmac_sha256_parts
+from repro.crypto.modes import ctr_encrypt, ctr_encrypt_many
+
+KEY = bytes(range(16))
+CIPHERS = ("speck64/128", "xtea", "rc5-32/12/16")
+BACKENDS = ("pure", "vector")
+
+
+def _burst(n: int) -> tuple[list[int], list[bytes], list[bytes]]:
+    counters = [100 + 3 * i for i in range(n)]
+    plaintexts = [bytes([i % 251]) * (1 + (i * 7) % 53) for i in range(n)]
+    ads = [b"ad-%d" % i for i in range(n)]
+    return counters, plaintexts, ads
+
+
+@pytest.mark.parametrize("cipher", CIPHERS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("n", [1, 2, 16, 64, 130])
+def test_seal_many_matches_scalar_seal(cipher, backend, n):
+    cfg = AeadConfig(cipher=cipher, backend=backend)
+    counters, plaintexts, ads = _burst(n)
+    batched = seal_many(KEY, counters, plaintexts, ads, cfg)
+    scalar = [
+        seal(KEY, c, p, ad, cfg) for c, p, ad in zip(counters, plaintexts, ads)
+    ]
+    assert batched == scalar
+
+
+@pytest.mark.parametrize("cipher", CIPHERS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_open_many_roundtrip(cipher, backend):
+    cfg = AeadConfig(cipher=cipher, backend=backend)
+    counters, plaintexts, ads = _burst(40)
+    sealed = seal_many(KEY, counters, plaintexts, ads, cfg)
+    assert open_many(KEY, counters, sealed, ads, cfg) == plaintexts
+    # Cross-check against the scalar opener too.
+    assert [
+        open_(KEY, c, s, ad, cfg) for c, s, ad in zip(counters, sealed, ads)
+    ] == plaintexts
+
+
+def test_seal_many_shared_associated_data():
+    counters, plaintexts, _ = _burst(10)
+    batched = seal_many(KEY, counters, plaintexts, b"shared")
+    assert batched == [seal(KEY, c, p, b"shared") for c, p in zip(counters, plaintexts)]
+    assert open_many(KEY, counters, batched, b"shared") == plaintexts
+
+
+def test_open_many_is_all_or_nothing():
+    counters, plaintexts, ads = _burst(8)
+    sealed = seal_many(KEY, counters, plaintexts, ads)
+    tampered = list(sealed)
+    tampered[5] = tampered[5][:-1] + bytes([tampered[5][-1] ^ 1])
+    with pytest.raises(AuthenticationError, match="message 5"):
+        open_many(KEY, counters, tampered, ads)
+
+
+def test_open_many_rejects_truncated_message():
+    with pytest.raises(AuthenticationError, match="message 0"):
+        open_many(KEY, [1], [b"short"], b"")
+
+
+def test_batched_length_mismatches_raise():
+    with pytest.raises(ValueError):
+        seal_many(KEY, [1, 2], [b"only-one"])
+    with pytest.raises(ValueError):
+        seal_many(KEY, [1, 2], [b"a", b"b"], [b"one-ad-only"])
+    with pytest.raises(ValueError):
+        open_many(KEY, [1], [b"x" * 16, b"y" * 16])
+
+
+def test_seal_many_empty_burst():
+    assert seal_many(KEY, [], []) == []
+    assert open_many(KEY, [], []) == []
+
+
+def test_ctr_encrypt_many_counter_validation():
+    cipher = get_cipher("speck64/128", derive_usage_key(KEY, ENCRYPT_USAGE))
+    with pytest.raises(ValueError):
+        ctr_encrypt_many(cipher, [1 << 48], [b"x"])
+
+
+@pytest.mark.parametrize("cipher", CIPHERS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ctr_encrypt_many_matches_scalar(cipher, backend):
+    c = get_cipher(cipher, derive_usage_key(KEY, ENCRYPT_USAGE))
+    counters, messages, _ = _burst(30)
+    batched = ctr_encrypt_many(c, counters, messages, backend)
+    assert batched == [
+        ctr_encrypt(c, ctr, msg, backend) for ctr, msg in zip(counters, messages)
+    ]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 48) - 1),
+            st.integers(min_value=0, max_value=40),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_keystream_segments_parity(segment_specs):
+    """keystream_segments == per-segment keystream for arbitrary bursts."""
+    cipher = get_cipher("speck64/128", KEY)
+    segments = [(ctr << 16, n) for ctr, n in segment_specs]
+    batched = kernels.keystream_segments(cipher, segments)
+    assert batched == [kernels.keystream(cipher, base, n) for base, n in segments]
+
+
+@given(st.binary(max_size=80), st.lists(st.binary(max_size=40), max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_midstate_hmac_matches_stdlib(key, parts):
+    """The pad-midstate cache changes nothing: still RFC 2104 HMAC."""
+    ours = hmac_sha256_parts(key, parts)
+    ref = stdlib_hmac.new(key, b"".join(parts), hashlib.sha256).digest()
+    assert ours == ref

@@ -14,6 +14,7 @@ from repro.protocol.forwarding import (
     parse_inner,
     unwrap_hop,
     wrap_hop,
+    wrap_hop_many,
 )
 
 AEAD = AeadConfig()
@@ -116,6 +117,29 @@ class TestStep2:
         frame = self._wrap(c1=b"shared", sender=77)
         _, c1 = unwrap_hop(CLUSTER_KEY, frame, 100.0, 30.0, AEAD)
         assert c1 == b"shared"
+
+
+class TestWrapHopMany:
+    @given(st.lists(st.binary(max_size=60), min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=2**30))
+    def test_matches_scalar_wrap_hop(self, c1s, start_seq):
+        batched = wrap_hop_many(CLUSTER_KEY, 9, 5, start_seq, 3, 100.0, c1s, AEAD)
+        scalar = [
+            wrap_hop(CLUSTER_KEY, 9, 5, start_seq + i, 3, 100.0, c1, AEAD)
+            for i, c1 in enumerate(c1s)
+        ]
+        assert batched == scalar
+
+    def test_frames_unwrap_individually(self):
+        c1s = [b"reading-%d" % i for i in range(8)]
+        frames = wrap_hop_many(CLUSTER_KEY, 9, 5, 100, 3, 50.0, c1s, AEAD)
+        for i, frame in enumerate(frames):
+            header, c1 = unwrap_hop(CLUSTER_KEY, frame, 50.0, 30.0, AEAD)
+            assert c1 == c1s[i]
+            assert header.seq == 100 + i
+
+    def test_empty_burst(self):
+        assert wrap_hop_many(CLUSTER_KEY, 9, 5, 0, 3, 1.0, [], AEAD) == []
 
 
 class TestDedupCache:

@@ -1,0 +1,131 @@
+"""Sensor-stream generators: seeded determinism and shape sanity.
+
+Two contracts matter for the soak benchmark's reproducibility story:
+(1) same seed, same sample times → bit-identical values, and (2) each
+stream actually has the statistical shape its name promises (spikes
+bounded by their amplitude, trends with the configured slope, and so
+on) so that workloads built from them exercise the data plane the way
+docs/WORKLOADS.md says they do.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.workloads import (
+    CategoricalStream,
+    CompositeStream,
+    RandomWalkStream,
+    SensorStream,
+    SpikeStream,
+    TrendStream,
+    WaveStream,
+    default_node_stream,
+    node_seed,
+)
+
+TIMES = [0.1 * i for i in range(400)]
+
+
+def _trace(stream: SensorStream) -> list[float]:
+    return [stream.sample(t) for t in TIMES]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: SpikeStream(rate_per_s=0.5, amplitude=8.0, decay_s=2.0, seed=7),
+            lambda: RandomWalkStream(sigma=0.3, seed=7),
+            lambda: CategoricalStream(mean_hold_s=2.0, seed=7),
+            lambda: default_node_stream(seed=7, node_id=11),
+        ],
+        ids=["spike", "walk", "categorical", "default"],
+    )
+    def test_same_seed_identical_trace(self, make):
+        assert _trace(make()) == _trace(make())
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s: SpikeStream(rate_per_s=0.5, seed=s),
+            lambda s: RandomWalkStream(sigma=0.3, seed=s),
+            lambda s: CategoricalStream(mean_hold_s=2.0, seed=s),
+        ],
+        ids=["spike", "walk", "categorical"],
+    )
+    def test_different_seed_different_trace(self, make):
+        assert _trace(make(1)) != _trace(make(2))
+
+    def test_node_seed_decorrelates(self):
+        seeds = {node_seed(0, nid) for nid in range(100)}
+        assert len(seeds) == 100
+        assert node_seed(0, 5) != node_seed(1, 5)
+
+
+class TestShapes:
+    def test_wave_bounds_and_period(self):
+        wave = WaveStream(amplitude=3.0, period_s=10.0, offset=20.0)
+        values = _trace(wave)
+        assert all(17.0 <= v <= 23.0 for v in values)
+        assert math.isclose(wave.sample(0.0), wave.sample(10.0), abs_tol=1e-9)
+        assert math.isclose(wave.sample(2.5), 23.0, abs_tol=1e-9)
+
+    def test_trend_slope(self):
+        trend = TrendStream(slope_per_s=0.5, intercept=10.0)
+        assert trend.sample(0.0) == 10.0
+        assert math.isclose(trend.sample(8.0) - trend.sample(4.0), 2.0)
+
+    def test_spike_amplitude_and_decay(self):
+        stream = SpikeStream(rate_per_s=2.0, amplitude=5.0, decay_s=1.0, seed=3)
+        values = _trace(stream)
+        assert any(v > 0.5 for v in values), "expected at least one spike in 40s"
+        # With rate 2/s over 40s, overlap of >4 simultaneous large spikes
+        # is vanishingly unlikely; the sum stays well-bounded.
+        assert max(values) <= 5.0 * 6
+        # A spike decays: right after the max, values head back down.
+        peak = values.index(max(values))
+        tail = values[peak : peak + 10]
+        assert tail == sorted(tail, reverse=True) or len(tail) < 10
+
+    def test_random_walk_starts_at_start(self):
+        walk = RandomWalkStream(sigma=0.1, start=42.0, seed=0)
+        assert walk.sample(0.0) == 42.0
+        # Zero sigma: the walk never moves.
+        frozen = RandomWalkStream(sigma=0.0, start=1.0, seed=0)
+        assert set(_trace(frozen)) == {1.0}
+
+    def test_categorical_values_are_levels(self):
+        levels = (0.0, 10.0, 20.0)
+        stream = CategoricalStream(levels=levels, mean_hold_s=1.0, seed=5)
+        values = set(_trace(stream))
+        assert values <= set(levels)
+        assert len(values) > 1, "expected at least one transition in 40s"
+
+    def test_composite_is_sum(self):
+        wave = WaveStream(amplitude=2.0, period_s=7.0)
+        trend = TrendStream(slope_per_s=1.0)
+        combo = CompositeStream([WaveStream(amplitude=2.0, period_s=7.0),
+                                 TrendStream(slope_per_s=1.0)])
+        for t in (0.0, 1.5, 9.25):
+            assert math.isclose(combo.sample(t), wave.sample(t) + trend.sample(t))
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WaveStream(period_s=0.0)
+        with pytest.raises(ValueError):
+            SpikeStream(rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            SpikeStream(decay_s=-1.0)
+        with pytest.raises(ValueError):
+            RandomWalkStream(sigma=-0.1)
+        with pytest.raises(ValueError):
+            CategoricalStream(levels=())
+        with pytest.raises(ValueError):
+            CategoricalStream(mean_hold_s=0.0)
+        with pytest.raises(ValueError):
+            CompositeStream([])

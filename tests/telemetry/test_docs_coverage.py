@@ -43,6 +43,28 @@ def test_sources_define_metrics_at_all():
     assert len(names) > 80
 
 
+def test_soak_metrics_extracted_and_documented():
+    # The soak workload publishes through three different registry call
+    # shapes (count, gauge, observe); pin that the extraction sees every
+    # forward.soak.* name and that each is documented explicitly, so a
+    # renamed soak metric cannot silently fall out of the doc.
+    names = source_metric_names()
+    doc = DOC.read_text(encoding="utf-8")
+    expected = {
+        "forward.soak.sent",
+        "forward.soak.send_failures",
+        "forward.soak.delivered",
+        "forward.soak.latency_ms",
+        "forward.soak.offered_load_fps",
+        "forward.soak.delivery_ratio",
+        "forward.soak.p50_latency_ms",
+        "forward.soak.p99_latency_ms",
+    }
+    assert expected <= names
+    for name in sorted(expected):
+        assert name in doc
+
+
 def test_every_metric_name_is_documented():
     doc = DOC.read_text(encoding="utf-8")
     undocumented = sorted(n for n in source_metric_names() if n not in doc)

@@ -41,6 +41,31 @@ def _runtime_payload(rate: float) -> dict:
     }
 
 
+def _forwarding_payload(frames_rate: float, codec_rate: float = 80_000.0) -> dict:
+    return {
+        "benchmark": "forwarding_soak",
+        "codec": [
+            {
+                "cipher": "speck64/128",
+                "batch": 64,
+                "scalar_frames_per_s": 50_000.0,
+                "batched_frames_per_s": codec_rate,
+                "speedup": codec_rate / 50_000.0,
+            }
+        ],
+        "soak": [
+            {
+                "n": 100,
+                "loss": 0.15,
+                "frames_per_s": frames_rate,
+                "delivered_per_s": frames_rate / 20,
+                "delivery_ratio": 0.96,
+                "p99_latency_ms": 400.0,
+            }
+        ],
+    }
+
+
 def test_identical_payloads_pass():
     assert bench_compare.compare(
         _crypto_payload(2e6), _crypto_payload(2e6), 0.5
@@ -66,6 +91,36 @@ def test_runtime_payloads_understood():
     assert len(regressions) == 1
     assert "events_per_s" in regressions[0]
     assert mismatches == []
+
+
+def test_forwarding_payloads_understood():
+    base, fresh = _forwarding_payload(3_000.0), _forwarding_payload(2_000.0)  # -33%
+    assert bench_compare.compare(base, fresh, 0.5) == ([], [])
+    base, fresh = _forwarding_payload(3_000.0), _forwarding_payload(1_000.0)  # -67%
+    regressions, mismatches = bench_compare.compare(base, fresh, 0.5)
+    # frames_per_s and delivered_per_s both cross the floor; the
+    # non-rate fields (delivery_ratio, latency) are not compared.
+    assert len(regressions) == 2
+    assert any("frames_per_s" in r for r in regressions)
+    assert mismatches == []
+
+
+def test_forwarding_codec_rows_gated_independently():
+    base = _forwarding_payload(3_000.0, codec_rate=80_000.0)
+    fresh = _forwarding_payload(3_000.0, codec_rate=30_000.0)  # -62%
+    regressions, _ = bench_compare.compare(base, fresh, 0.5)
+    assert len(regressions) == 1
+    assert "batched_frames_per_s" in regressions[0]
+
+
+def test_forwarding_dropped_soak_row_is_a_mismatch():
+    base = _forwarding_payload(3_000.0)
+    fresh = _forwarding_payload(3_000.0)
+    fresh["soak"] = []
+    regressions, mismatches = bench_compare.compare(base, fresh, 0.5)
+    assert regressions == []
+    assert len(mismatches) == 1
+    assert "baseline only" in mismatches[0]
 
 
 def test_row_missing_from_fresh_is_a_mismatch():
@@ -137,7 +192,7 @@ def test_regression_dominates_mismatch(tmp_path):
 def test_committed_baselines_are_loadable():
     """The committed BENCH jsons must stay parseable by the gate."""
     repo = Path(__file__).parent.parent
-    for name in ("BENCH_crypto.json", "BENCH_runtime.json"):
+    for name in ("BENCH_crypto.json", "BENCH_runtime.json", "BENCH_forwarding.json"):
         payload = json.loads((repo / name).read_text())
         rows = bench_compare._rows(payload)
         assert rows, f"{name} produced no comparable rows"
