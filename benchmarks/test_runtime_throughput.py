@@ -1,96 +1,58 @@
-"""Runtime throughput: key-setup wall time, sim vs loopback vs faulted.
+"""Runtime throughput: key-setup wall time across the runtime backends.
 
-The loopback transport re-implements the simulator's calendar queue
-without the radio/energy/CSMA bookkeeping, so it should run key setup at
-least in the same ballpark. This benchmark times a full ``deploy_live``
-key setup on both backends at two network sizes — plus a loopback run
-under the chaos acceptance fault plan with setup re-announcement on, to
-price the fault-injection decorator and the reliability extension — and
-writes the numbers to ``BENCH_runtime.json`` at the repo root: the
-machine-readable perf trajectory the next optimization PR diffs against.
+Thin pytest wrapper over :mod:`repro.bench.runtime` — the module behind
+``python -m repro bench runtime``, which owns the row definitions and
+writes the committed ``BENCH_runtime.json`` baseline (full matrix, paper
+sizes included). This wrapper runs the quick matrix: every single-process
+variant at laptop sizes plus one reduced sharded row, asserting the
+structural invariants (every deterministic backend reproduces the same
+cluster assignment) and leaving the quick payload under
+``benchmarks/results/`` for inspection. CI's perf-smoke job gates a
+fresh ``repro bench runtime --quick`` payload against the committed
+baseline via ``scripts/bench_compare.py``.
 """
 
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import pytest
 
-from repro.protocol.config import ProtocolConfig
-from repro.runtime import deploy_live
-from repro.runtime.faults import FaultPlan, LinkFaults
+from repro.bench.runtime import (
+    SIZES,
+    VARIANTS,
+    bench_runtime,
+    run_setup_row,
+    run_shard_row,
+)
 
-BENCH_PATH = Path(__file__).parent.parent / "BENCH_runtime.json"
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_runtime.quick.json"
 
-SIZES = (100, 400)
-DENSITY = 10.0
 SEED = 0
-VARIANTS = ("sim", "loopback", "loopback+faults")
-
-_results: dict[str, dict] = {}
-
-
-def _events_executed(deployed) -> int:
-    transport = deployed.network.transport
-    transport = getattr(transport, "inner", transport)  # unwrap fault decorator
-    if transport.name == "sim":
-        return transport._network.sim.events_executed
-    return transport.events_executed
-
-
-def _run_once(variant: str, n: int) -> dict:
-    kwargs: dict = {}
-    transport = variant
-    if variant == "loopback+faults":
-        transport = "loopback"
-        kwargs["fault_plan"] = FaultPlan(
-            seed=SEED,
-            defaults=LinkFaults(drop=0.15, duplicate=0.05, reorder=0.05),
-        )
-        kwargs["config"] = ProtocolConfig(
-            hop_ack_enabled=True, setup_reannounce_count=2, settle_margin_s=3.0
-        )
-    start = time.perf_counter()
-    deployed, metrics = deploy_live(
-        n, DENSITY, seed=SEED, transport=transport, **kwargs
-    )
-    wall_s = time.perf_counter() - start
-    events = _events_executed(deployed)
-    return {
-        "n": n,
-        "transport": variant,
-        "setup_wall_s": round(wall_s, 4),
-        "events_executed": events,
-        "events_per_s": round(events / wall_s, 1),
-        "clusters": metrics.cluster_count,
-        "frames_sent": deployed.network.transport.frames_sent,
-    }
 
 
 @pytest.mark.parametrize("transport", VARIANTS)
 @pytest.mark.parametrize("n", SIZES)
 def test_setup_throughput(transport, n):
-    result = _run_once(transport, n)
-    _results[f"{transport}_n{n}"] = result
+    result = run_setup_row(transport, n, seed=SEED)
     assert result["clusters"] > 0
     assert result["events_per_s"] > 0
 
 
-def test_write_bench_json():
-    """Runs last (file order): persist everything the matrix measured."""
-    assert len(_results) == len(VARIANTS) * len(SIZES), "matrix must run before the writer"
-    # Loopback must reproduce the sim's cluster structure at every size —
-    # a throughput number for a *different* computation would be noise.
-    # (The faulted variant legitimately diverges: 15% setup loss.)
-    for n in SIZES:
-        assert _results[f"sim_n{n}"]["clusters"] == _results[f"loopback_n{n}"]["clusters"]
-    payload = {
-        "benchmark": "runtime_setup_throughput",
-        "density": DENSITY,
-        "seed": SEED,
-        "results": [_results[k] for k in sorted(_results)],
-    }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {BENCH_PATH}")
+def test_sharded_setup_throughput():
+    """The multi-process path must complete and reproduce the loopback run."""
+    sharded = run_shard_row(SIZES[-1], shards=4, seed=SEED)
+    loopback = run_setup_row("loopback", SIZES[-1], seed=SEED)
+    assert sharded["clusters"] == loopback["clusters"]
+    assert sharded["frames_sent"] == loopback["frames_sent"]
+    assert sharded["events_executed"] == loopback["events_executed"]
+    assert sharded["windows"] > 0
+
+
+def test_write_bench_json(results_dir):
+    """Persist the full quick payload (cluster parity asserted inside)."""
+    payload = bench_runtime(quick=True, seed=SEED)
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {RESULTS_PATH}")

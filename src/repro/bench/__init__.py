@@ -7,10 +7,12 @@ against (docs/BENCHMARKS.md is the handbook for all of them):
 * :mod:`repro.bench.crypto` — keystream-kernel and frame-path
   microbenchmarks (``BENCH_crypto.json``);
 * :mod:`repro.bench.forwarding` — sustained-forwarding soak plus the
-  batched-codec micro rows (``BENCH_forwarding.json``).
-
-``BENCH_runtime.json`` (setup throughput) lives in
-``benchmarks/test_runtime_throughput.py``, driven by pytest.
+  batched-codec micro rows (``BENCH_forwarding.json``);
+* :mod:`repro.bench.runtime` — key-setup throughput across the
+  single-process backends and the region-sharded multi-process runtime
+  at paper scale (``BENCH_runtime.json``);
+  ``benchmarks/test_runtime_throughput.py`` is a thin pytest wrapper
+  over the same rows.
 """
 
 from repro.bench.crypto import bench_crypto, render_bench_crypto, write_bench_crypto
@@ -19,12 +21,16 @@ from repro.bench.forwarding import (
     render_bench_forwarding,
     write_bench_forwarding,
 )
+from repro.bench.runtime import bench_runtime, render_bench_runtime, write_bench_runtime
 
 __all__ = [
     "bench_crypto",
     "bench_forwarding",
+    "bench_runtime",
     "render_bench_crypto",
     "render_bench_forwarding",
+    "render_bench_runtime",
     "write_bench_crypto",
     "write_bench_forwarding",
+    "write_bench_runtime",
 ]

@@ -1,0 +1,187 @@
+"""Setup-throughput benchmark behind ``python -m repro bench runtime``.
+
+Times a full key setup (deploy + cluster election + key distribution to
+quiescence) across the runtime backends and writes the machine-readable
+trajectory to ``BENCH_runtime.json``:
+
+* **sim / loopback / loopback+faults** — the single-process backends at
+  laptop sizes (the loopback rows are the tuned per-event hot path; the
+  faulted row prices the fault decorator plus the reliability layer);
+* **loopback at n=2500 and n=3600** — the paper's deployment scale on
+  one process: the honest baseline the sharded runtime is judged
+  against;
+* **shardK rows** — the region-sharded multi-process runtime
+  (:func:`repro.runtime.shard.run_sharded_setup`), same seed and
+  therefore the *same cluster assignment* as the loopback rows
+  (asserted here, pinned by tests/integration/test_shard_parity.py).
+
+Every payload records ``cpu_count``: the sharded rows only express
+parallelism when the host actually has cores to run the workers on
+(docs/PERFORMANCE.md discusses reading sharded numbers from 1-core
+boxes, where the window protocol's overhead is all you can measure).
+
+``quick`` keeps row identities for the sizes it runs but skips the
+paper-scale sizes, so CI gates the quick run against the committed
+full baseline with ``--allow-missing`` (docs/BENCHMARKS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.protocol.config import ProtocolConfig
+
+#: Single-process sizes every run measures (laptop scale).
+SIZES = (100, 400)
+
+#: Paper-scale sizes the full run adds (loopback and sharded rows).
+PAPER_SIZES = (2500, 3600)
+
+#: Single-process backend variants measured at each laptop size.
+VARIANTS = ("sim", "loopback", "loopback+faults")
+
+DENSITY = 10.0
+
+
+def _events_executed(deployed) -> int:
+    """Events the backend executed, unwrapping the fault decorator."""
+    transport = deployed.network.transport
+    transport = getattr(transport, "inner", transport)
+    if transport.name == "sim":
+        return transport._network.sim.events_executed
+    return transport.events_executed
+
+
+def run_setup_row(variant: str, n: int, seed: int = 0) -> dict:
+    """Time one single-process key setup; returns the payload row."""
+    from repro.runtime import deploy_live
+    from repro.runtime.faults import FaultPlan, LinkFaults
+
+    kwargs: dict = {}
+    transport = variant
+    if variant == "loopback+faults":
+        transport = "loopback"
+        kwargs["fault_plan"] = FaultPlan(
+            seed=seed,
+            defaults=LinkFaults(drop=0.15, duplicate=0.05, reorder=0.05),
+        )
+        kwargs["config"] = ProtocolConfig(
+            hop_ack_enabled=True, setup_reannounce_count=2, settle_margin_s=3.0
+        )
+    start = time.perf_counter()
+    deployed, metrics = deploy_live(n, DENSITY, seed=seed, transport=transport, **kwargs)
+    wall_s = time.perf_counter() - start
+    events = _events_executed(deployed)
+    return {
+        "n": n,
+        "transport": variant,
+        "setup_wall_s": round(wall_s, 4),
+        "events_executed": events,
+        "events_per_s": round(events / wall_s, 1),
+        "clusters": metrics.cluster_count,
+        "frames_sent": deployed.network.transport.frames_sent,
+    }
+
+
+def run_shard_row(n: int, shards: int, seed: int = 0) -> dict:
+    """Time one sharded key setup end to end (processes included)."""
+    from repro.runtime.shard import run_sharded_setup
+
+    start = time.perf_counter()
+    result = run_sharded_setup(n, DENSITY, seed=seed, shards=shards)
+    wall_s = time.perf_counter() - start
+    registry = result.trace.telemetry.registry
+    return {
+        "n": n,
+        "transport": f"shard{shards}",
+        "setup_wall_s": round(wall_s, 4),
+        "events_executed": result.events_executed,
+        "events_per_s": round(result.events_executed / wall_s, 1),
+        "clusters": result.metrics.cluster_count,
+        "frames_sent": registry.counter("net.frames_sent"),
+        "shards": shards,
+        "windows": result.windows,
+        "cross_frames": result.cross_frames,
+        "cut_links": result.plan.cut_links,
+    }
+
+
+def bench_runtime(quick: bool = False, seed: int = 0, shards: int = 4) -> dict:
+    """Run the setup-throughput matrix; returns the payload.
+
+    The full matrix is the laptop sizes across all single-process
+    variants, plus loopback and sharded rows at the paper sizes;
+    ``quick`` skips the paper sizes but keeps a reduced sharded row so
+    CI still exercises (and gates) the multi-process path.
+    """
+    rows = [run_setup_row(variant, n, seed=seed) for variant in VARIANTS for n in SIZES]
+    rows.append(run_shard_row(SIZES[-1], shards, seed=seed))
+    if not quick:
+        for n in PAPER_SIZES:
+            rows.append(run_setup_row("loopback", n, seed=seed))
+            rows.append(run_shard_row(n, shards, seed=seed))
+
+    indexed_rows = {(row["transport"], row["n"]): row for row in rows}
+    for n in SIZES + (() if quick else PAPER_SIZES):
+        loopback = indexed_rows.get(("loopback", n))
+        assert loopback is not None
+        # A throughput number for a *different* computation would be
+        # noise: every deterministic backend must reproduce the same
+        # cluster structure. (The faulted variant legitimately diverges:
+        # 15% setup loss.)
+        baseline_clusters = loopback["clusters"]
+        for other in ("sim", f"shard{shards}"):
+            row = indexed_rows.get((other, n))
+            if row is not None:
+                found_clusters = row["clusters"]
+                assert found_clusters == baseline_clusters, (
+                    f"{other} diverged from loopback at n={n}: "
+                    f"{found_clusters} != {baseline_clusters} clusters"
+                )
+    rows.sort(key=lambda row: (row["transport"], row["n"]))
+    return {
+        "benchmark": "runtime_setup_throughput",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "density": DENSITY,
+        "seed": seed,
+        "shards": shards,
+        "results": rows,
+    }
+
+
+def write_bench_runtime(
+    out_path: str, quick: bool = False, seed: int = 0, shards: int = 4
+) -> dict:
+    """Run :func:`bench_runtime` and write the payload to ``out_path``."""
+    payload = bench_runtime(quick=quick, seed=seed, shards=shards)
+    with open(out_path, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2)
+        fp.write("\n")
+    return payload
+
+
+def render_bench_runtime(payload: dict) -> str:
+    """Human-readable table of a :func:`bench_runtime` payload."""
+    lines = [
+        f"runtime key setup — python {payload['python']}, "
+        f"{payload['cpu_count']} cpu(s), density {payload['density']}, "
+        f"seed {payload['seed']}",
+        "",
+        f"{'n':>6} {'transport':<16} {'wall s':>8} {'events':>8} "
+        f"{'events/s':>10} {'clusters':>9}",
+    ]
+    for row in payload["results"]:
+        extra = ""
+        if "windows" in row:
+            extra = f"  ({row['windows']} windows, {row['cross_frames']} cross frames)"
+        lines.append(
+            f"{row['n']:>6} {row['transport']:<16} {row['setup_wall_s']:>8.3f} "
+            f"{row['events_executed']:>8} {row['events_per_s']:>10,.0f} "
+            f"{row['clusters']:>9}{extra}"
+        )
+    return "\n".join(lines)

@@ -52,6 +52,9 @@ class LiveNetwork:
         for nid in sorted(network.nodes):
             self.nodes[nid] = NodeRuntime(transport, nid, network.nodes[nid].position)
         self.bs = self.nodes[BS_ID]
+        # Membership is fixed at construction, so the sorted sensor-id
+        # list (hot via alive_sensor_ids) is computed exactly once.
+        self._sensor_ids = [nid for nid in self.nodes if nid != BS_ID]
 
     # -- the network surface the protocol layer programs against ------------
 
@@ -74,8 +77,12 @@ class LiveNetwork:
         return self._net.adjacency(node_id)
 
     def sensor_ids(self) -> list[int]:
-        """Ids of ordinary sensors (excludes the base station), sorted."""
-        return sorted(nid for nid in self.nodes if nid != BS_ID)
+        """Ids of ordinary sensors (excludes the base station), sorted.
+
+        Precomputed — live membership is fixed at construction. Callers
+        must not mutate the result.
+        """
+        return self._sensor_ids
 
     def alive_sensor_ids(self) -> list[int]:
         """Ids of sensors whose runtimes are still up."""

@@ -100,14 +100,18 @@ class LoopbackTransport(Transport):
         self.bytes_sent += nbytes
         self.trace.count("net.frames_sent")
         self.trace.count("net.bytes_sent", nbytes)
+        receivers = self._neighbors.get(sender_id)
+        if not receivers:
+            return
         # Same delivery latency as the simulated radio, so election races
-        # resolve identically and parity with SimTransport holds.
+        # resolve identically and parity with SimTransport holds. All
+        # receivers of one broadcast share the delivery instant, so the
+        # whole fan-out is ONE queue entry (a ~mean-degree reduction in
+        # heap traffic); receivers are visited in neighbor-map order,
+        # matching the per-receiver scheduling order of the simulated
+        # radio, and alive-ness is checked at delivery time as before.
         delay = self.config.propagation_delay_s + self.config.airtime(len(frame))
-        for receiver_id in self._neighbors.get(sender_id, ()):
-            receiver = self._nodes.get(receiver_id)
-            if receiver is None or not receiver.alive:
-                continue
-            self.schedule(delay, _Delivery(self, receiver_id, sender_id, frame))
+        self.schedule(delay, _FanoutDelivery(self, receivers, sender_id, frame))
 
     def _deliver(self, receiver_id: int, sender_id: int, frame: bytes) -> None:
         receiver = self._nodes.get(receiver_id)
@@ -124,13 +128,14 @@ class LoopbackTransport(Transport):
     async def run_async(self, until: float | None = None) -> float:
         """Execute pending events in (time, seq) order up to ``until``."""
         events = self._events
+        pace = self.pace
         while True:
-            time = events.peek_time()
-            if time is None or (until is not None and time > until):
+            item = events.pop_due(until)
+            if item is None:
                 break
-            _time, _handle, callback = events.pop()
-            if self.pace > 0.0 and time > self._now:
-                await asyncio.sleep((time - self._now) * self.pace)
+            time, callback = item
+            if pace > 0.0 and time > self._now:
+                await asyncio.sleep((time - self._now) * pace)
             self._now = time
             self.events_executed += 1
             callback()
@@ -144,18 +149,35 @@ class LoopbackTransport(Transport):
         return len(self._events)
 
 
-class _Delivery:
-    """Bound delivery event (mirrors the simulated radio's)."""
+class _FanoutDelivery:
+    """Bound delivery of one broadcast to every receiver (one queue entry).
 
-    __slots__ = ("transport", "receiver_id", "sender_id", "frame")
+    Receivers are visited in neighbor-map order — the order the simulated
+    radio schedules its per-receiver deliveries in — so frame-arrival
+    ordering at every node is unchanged. ``events_executed`` is bumped by
+    ``len(receivers) - 1`` so the throughput metric keeps counting
+    per-receiver deliveries (comparable with the sim transport), not
+    queue pops.
+    """
+
+    __slots__ = ("transport", "receivers", "sender_id", "frame")
 
     def __init__(
-        self, transport: LoopbackTransport, receiver_id: int, sender_id: int, frame: bytes
+        self,
+        transport: LoopbackTransport,
+        receivers: list[int],
+        sender_id: int,
+        frame: bytes,
     ) -> None:
         self.transport = transport
-        self.receiver_id = receiver_id
+        self.receivers = receivers
         self.sender_id = sender_id
         self.frame = frame
 
     def __call__(self) -> None:
-        self.transport._deliver(self.receiver_id, self.sender_id, self.frame)
+        transport = self.transport
+        transport.events_executed += len(self.receivers) - 1
+        sender_id = self.sender_id
+        frame = self.frame
+        for receiver_id in self.receivers:
+            transport._deliver(receiver_id, sender_id, frame)

@@ -1,0 +1,100 @@
+"""Deployment partitioning: contiguous regions from the topology's cell grid.
+
+A shard plan carves the field into ``num_shards`` vertical stripes of
+(near) equal node count, ordered by the deployment cell grid's x-column
+(:class:`repro.sim.topology.CellGrid`) so each region is spatially
+contiguous. Contiguity is what makes sharding pay: unit-disk links only
+cross a stripe boundary within one cell column of it, so the cross-shard
+cut — the traffic that must travel over the socket interconnect — stays a
+thin band while everything else is shard-local.
+
+The plan is a pure function of the built :class:`~repro.sim.network.Network`
+(positions + adjacency), so the coordinator and every worker can compute
+it independently from the same seed and agree without shipping it around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.network import BS_ID, FIRST_NODE_ID, Network
+
+__all__ = ["ShardPlan", "partition_network"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic node-to-shard assignment over one deployment."""
+
+    num_shards: int
+    #: Node id (including the base station) -> shard index.
+    assignment: dict[int, int]
+    #: Sorted node ids per shard (the BS appears in exactly one shard).
+    members: list[list[int]]
+    #: Unit-disk links whose endpoints land on different shards.
+    cut_links: int
+
+    def shard_of(self, node_id: int) -> int:
+        """Shard index owning ``node_id``."""
+        return self.assignment[node_id]
+
+    def local_ids(self, shard: int) -> frozenset[int]:
+        """Frozen membership set of ``shard`` (fast ``in`` checks)."""
+        return frozenset(self.members[shard])
+
+
+def partition_network(network: Network, num_shards: int) -> ShardPlan:
+    """Split ``network`` into ``num_shards`` contiguous x-stripes.
+
+    Sensors are ordered by their cell-grid x-column (ties broken by node
+    id, so the split is deterministic) and chunked into equal-count
+    groups. The base station joins the stripe whose column range covers
+    its own cell column — the field-center stripe for the default BS
+    placement.
+
+    Raises:
+        ValueError: ``num_shards`` < 1 or more shards than sensors.
+    """
+    n = network.deployment.n
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > n:
+        raise ValueError(f"cannot split {n} sensors into {num_shards} shards")
+
+    grid = network.deployment.cell_grid
+    positions = network.deployment.positions
+
+    def column(i: int) -> int:
+        return grid.cell_of(positions[i])[0]
+
+    order = sorted(range(n), key=lambda i: (column(i), i))
+    assignment: dict[int, int] = {}
+    members: list[list[int]] = []
+    for shard in range(num_shards):
+        lo = shard * n // num_shards
+        hi = (shard + 1) * n // num_shards
+        ids = sorted(order[i] + FIRST_NODE_ID for i in range(lo, hi))
+        members.append(ids)
+        for nid in ids:
+            assignment[nid] = shard
+
+    # The BS lives in the stripe whose column range contains its cell.
+    bs_col = grid.cell_of(network.nodes[BS_ID].position)[0]
+    bs_shard = num_shards - 1
+    for shard in range(num_shards):
+        cols = [column(nid - FIRST_NODE_ID) for nid in members[shard]]
+        if cols and bs_col <= max(cols):
+            bs_shard = shard
+            break
+    assignment[BS_ID] = bs_shard
+    members[bs_shard] = sorted(members[bs_shard] + [BS_ID])
+
+    cut = sum(
+        1
+        for nid, shard in assignment.items()
+        for peer in network.adjacency(nid)
+        if assignment[peer] != shard
+    ) // 2
+    return ShardPlan(
+        num_shards=num_shards, assignment=assignment, members=members, cut_links=cut
+    )

@@ -1,0 +1,163 @@
+"""Shard-local transports: the windowed event fabric and the RNG stub.
+
+:class:`ShardTransport` is a :class:`~repro.runtime.loopback.LoopbackTransport`
+whose neighbor map covers only the shard's *local* receivers; a broadcast
+from a border node additionally lands in :attr:`ShardTransport.outbox` for
+the coordinator to route across the interconnect, and frames arriving
+from other shards are injected at their model-exact arrival instant.
+:meth:`ShardTransport.run_window` executes events up to a window boundary
+(exclusive or inclusive) — the primitive the conservative window
+synchronization in :mod:`repro.runtime.shard.coordinator` is built from.
+
+:class:`NullTransport` hosts the *foreign* node runtimes a worker builds
+purely for determinism: provisioning and ``start_setup`` must consume the
+shared ``keys``/``timers`` RNG streams for every node in global id order
+— exactly as the single-process runtime does — or local timer draws would
+diverge from the unsharded run. Foreign agents therefore get constructed
+and started for real, but their timers and broadcasts land here and are
+discarded; their behaviour is computed by whichever shard owns them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.sim.radio import RadioConfig
+from repro.sim.trace import Trace
+from repro.runtime.loopback import LoopbackTransport, _FanoutDelivery
+from repro.runtime.transport import ReceiveEndpoint, Transport
+
+__all__ = ["NullTransport", "ShardTransport"]
+
+
+class ShardTransport(LoopbackTransport):
+    """Loopback fabric for one shard, with a cross-shard egress/ingress edge."""
+
+    name = "shard"
+
+    def __init__(
+        self,
+        neighbors: dict[int, list[int]],
+        border_senders: frozenset[int],
+        ingress_neighbors: dict[int, list[int]],
+        radio_config: RadioConfig | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        """``neighbors`` maps each local sender to its *local* receivers;
+        ``border_senders`` are local ids with at least one remote
+        neighbor; ``ingress_neighbors`` maps each remote border sender to
+        its receivers inside this shard."""
+        super().__init__(neighbors, radio_config=radio_config, trace=trace)
+        self._border = border_senders
+        self._ingress = ingress_neighbors
+        #: Frames awaiting coordinator routing: (emit_time, sender, payload).
+        self.outbox: list[tuple[float, int, bytes]] = []
+        self.cross_frames_in = 0
+        self.cross_frames_out = 0
+
+    def broadcast(self, sender_id: int, frame: bytes) -> None:
+        """Local fan-out plus egress capture for border senders."""
+        super().broadcast(sender_id, frame)
+        if sender_id in self._border:
+            self.outbox.append((self._now, sender_id, frame))
+            self.cross_frames_out += 1
+
+    def inject(self, emit_time: float, sender_id: int, frame: bytes) -> None:
+        """Deliver a remote broadcast to its local receivers.
+
+        The arrival instant is recomputed from the shared radio model
+        (emit + propagation + airtime), so it is identical to what the
+        single-process fabric would have scheduled. The conservative
+        window protocol guarantees ``arrival >= now``.
+        """
+        receivers = self._ingress.get(sender_id)
+        if not receivers:
+            return
+        arrival = (
+            emit_time
+            + self.config.propagation_delay_s
+            + self.config.airtime(len(frame))
+        )
+        if arrival < self._now:
+            raise RuntimeError(
+                f"cross-shard frame would arrive in the past "
+                f"({arrival} < {self._now}): window lookahead violated"
+            )
+        self.cross_frames_in += 1
+        self._events.push(arrival, _FanoutDelivery(self, receivers, sender_id, frame))
+
+    def run_window(self, limit: float, inclusive: bool) -> float:
+        """Execute events up to ``limit`` and advance the clock to it.
+
+        ``inclusive`` selects whether events exactly at ``limit`` fire
+        (the final window at the protocol deadline) or stay queued (every
+        interior window, whose boundary is the lookahead horizon).
+        Returns the next pending event time (``inf`` when idle).
+        """
+        events = self._events
+        while True:
+            item = events.pop_due(limit, inclusive)
+            if item is None:
+                break
+            time, callback = item
+            self._now = time
+            self.events_executed += 1
+            callback()
+        if math.isfinite(limit) and limit > self._now:
+            self._now = limit
+        next_time = events.peek_time()
+        return float("inf") if next_time is None else next_time
+
+    def drain_outbox(self) -> list[tuple[float, int, bytes]]:
+        """Return and clear the pending cross-shard egress frames."""
+        out, self.outbox = self.outbox, []
+        return out
+
+    def run(self, until: float | None = None) -> float:
+        """Synchronous drive (single-shard/test use; no asyncio loop)."""
+        self.run_window(math.inf if until is None else until, True)
+        return self._now
+
+
+class _NullTimer:
+    """Inert timer handle returned for foreign-agent schedules."""
+
+    __slots__ = ()
+
+    def cancel(self) -> None:
+        """No-op; the timer was never armed."""
+
+
+class NullTransport(Transport):
+    """Transport stub that discards everything (foreign node runtimes).
+
+    Exists so a worker can construct and ``start_setup`` every agent in
+    the deployment — consuming the shared RNG streams in global order —
+    while only the locally-owned agents ever execute. Owns a private
+    :class:`~repro.sim.trace.Trace` so nothing a foreign agent might
+    count could leak into the shard's real telemetry.
+    """
+
+    name = "null"
+
+    _TIMER = _NullTimer()
+
+    def register(self, node: ReceiveEndpoint) -> None:
+        """Accept and forget; foreign runtimes never receive."""
+
+    @property
+    def now(self) -> float:
+        """Frozen clock (foreign agents only schedule relative timers)."""
+        return 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> _NullTimer:
+        """Swallow the timer; returns a shared inert handle."""
+        return self._TIMER
+
+    def broadcast(self, sender_id: int, frame: bytes) -> None:
+        """Discard; a foreign agent's frames originate on its own shard."""
+
+    def run(self, until: float | None = None) -> float:
+        """Nothing to drive."""
+        return 0.0

@@ -1,0 +1,161 @@
+"""Coordinator/worker wire protocol for the sharded runtime.
+
+A star topology over local TCP: every worker connects to the
+coordinator's loopback listener and the two sides exchange length-prefixed
+messages (4-byte big-endian length, 1-byte type, body). Cross-shard
+frames travel inside RUN/DONE messages using the exact datagram format of
+the UDP transport (:func:`repro.runtime.udp.encode_datagram` — big-endian
+sender id + payload), stamped with their protocol-time emission instant;
+the receiving shard recomputes the arrival time from the shared radio
+model, so latency semantics match the in-process fabrics bit-for-bit.
+
+Message types::
+
+    HELLO  worker -> coord   shard index (join handshake)
+    RUN    coord  -> worker  window limit + inclusive flag + ingress frames
+    DONE   worker -> coord   next local event time + egress frames
+    FINISH coord  -> worker  request the final per-shard report
+    REPORT worker -> coord   JSON report (metrics, cluster state)
+    STOP   coord  -> worker  shut down cleanly
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.runtime.udp import decode_datagram, encode_datagram
+
+__all__ = [
+    "MSG_DONE",
+    "MSG_FINISH",
+    "MSG_HELLO",
+    "MSG_REPORT",
+    "MSG_RUN",
+    "MSG_STOP",
+    "OutFrame",
+    "pack_done",
+    "pack_frames",
+    "pack_hello",
+    "pack_report",
+    "pack_run",
+    "recv_message",
+    "send_message",
+    "unpack_done",
+    "unpack_frames",
+    "unpack_hello",
+    "unpack_report",
+    "unpack_run",
+]
+
+MSG_HELLO = 1
+MSG_RUN = 2
+MSG_DONE = 3
+MSG_FINISH = 4
+MSG_REPORT = 5
+MSG_STOP = 6
+
+#: One cross-shard frame in transit: (emit_time, sender_id, payload).
+OutFrame = tuple[float, int, bytes]
+
+_HEADER = struct.Struct(">IB")
+_HELLO = struct.Struct(">I")
+_RUN = struct.Struct(">d?")
+_DONE = struct.Struct(">dQ")
+_FRAME = struct.Struct(">dI")
+_COUNT = struct.Struct(">I")
+
+
+def send_message(sock: socket.socket, msg_type: int, payload: bytes = b"") -> None:
+    """Send one framed message (length includes only type + payload)."""
+    sock.sendall(_HEADER.pack(len(payload) + 1, msg_type) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks = []
+    while size:
+        chunk = sock.recv(size)
+        if not chunk:
+            raise ConnectionError("shard interconnect peer closed mid-message")
+        chunks.append(chunk)
+        size -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> tuple[int, bytes]:
+    """Receive one framed message; raises ConnectionError on EOF."""
+    length, msg_type = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    return msg_type, _recv_exact(sock, length - 1)
+
+
+def pack_frames(frames: list[OutFrame]) -> bytes:
+    """Serialize cross-shard frames (emit time + UDP-format datagram)."""
+    parts = [_COUNT.pack(len(frames))]
+    for emit_time, sender_id, payload in frames:
+        datagram = encode_datagram(sender_id, payload)
+        parts.append(_FRAME.pack(emit_time, len(datagram)))
+        parts.append(datagram)
+    return b"".join(parts)
+
+
+def unpack_frames(data: bytes, offset: int = 0) -> list[OutFrame]:
+    """Parse :func:`pack_frames` output."""
+    (count,) = _COUNT.unpack_from(data, offset)
+    offset += _COUNT.size
+    frames: list[OutFrame] = []
+    for _ in range(count):
+        emit_time, size = _FRAME.unpack_from(data, offset)
+        offset += _FRAME.size
+        chunk = data[offset : offset + size]
+        offset += size
+        decoded = decode_datagram(chunk) if len(chunk) == size else None
+        if decoded is None:
+            raise ValueError("truncated cross-shard datagram")
+        frames.append((emit_time, decoded[0], decoded[1]))
+    return frames
+
+
+def pack_hello(shard: int) -> bytes:
+    """HELLO body: the connecting worker's shard index."""
+    return _HELLO.pack(shard)
+
+
+def unpack_hello(data: bytes) -> int:
+    """Parse a HELLO body."""
+    return int(_HELLO.unpack(data)[0])
+
+
+def pack_run(limit: float, inclusive: bool, frames: list[OutFrame]) -> bytes:
+    """RUN body: window limit, boundary inclusivity, ingress frames."""
+    return _RUN.pack(limit, inclusive) + pack_frames(frames)
+
+
+def unpack_run(data: bytes) -> tuple[float, bool, list[OutFrame]]:
+    """Parse a RUN body."""
+    limit, inclusive = _RUN.unpack_from(data, 0)
+    return limit, inclusive, unpack_frames(data, _RUN.size)
+
+
+def pack_done(next_time: float, events_executed: int, frames: list[OutFrame]) -> bytes:
+    """DONE body: next local event time (inf = idle), totals, egress."""
+    return _DONE.pack(next_time, events_executed) + pack_frames(frames)
+
+
+def unpack_done(data: bytes) -> tuple[float, int, list[OutFrame]]:
+    """Parse a DONE body."""
+    next_time, executed = _DONE.unpack_from(data, 0)
+    return next_time, executed, unpack_frames(data, _DONE.size)
+
+
+def pack_report(report: dict) -> bytes:
+    """REPORT body: one JSON document."""
+    return json.dumps(report, separators=(",", ":")).encode("utf-8")
+
+
+def unpack_report(data: bytes) -> dict:
+    """Parse a REPORT body."""
+    loaded = json.loads(data.decode("utf-8"))
+    if not isinstance(loaded, dict):
+        raise ValueError("shard report must be a JSON object")
+    return loaded

@@ -33,10 +33,28 @@ from repro.runtime.transport import ReceiveEndpoint, Transport
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
 
-__all__ = ["UdpTimer", "UdpTransport"]
+__all__ = ["UdpTimer", "UdpTransport", "decode_datagram", "encode_datagram"]
 
 #: Bytes prepended to each datagram: the (unauthenticated) sender id.
 _SENDER_HEADER_LEN = 4
+
+
+def encode_datagram(sender_id: int, frame: bytes) -> bytes:
+    """Wire form of one frame: big-endian sender id, then the payload.
+
+    The sender id is the same *unauthenticated* link-layer source field
+    the simulated radio passes up. Shared with the sharded runtime's
+    socket interconnect (:mod:`repro.runtime.shard.wire`), so both
+    real-network paths speak one frame format.
+    """
+    return sender_id.to_bytes(_SENDER_HEADER_LEN, "big") + frame
+
+
+def decode_datagram(data: bytes) -> tuple[int, bytes] | None:
+    """Parse :func:`encode_datagram` output; None if truncated."""
+    if len(data) < _SENDER_HEADER_LEN:
+        return None
+    return int.from_bytes(data[:_SENDER_HEADER_LEN], "big"), data[_SENDER_HEADER_LEN:]
 
 
 class UdpTimer:
@@ -138,7 +156,7 @@ class UdpTransport(Transport):
             # orchestrator): send on the next run's first tick instead.
             self.schedule(0.0, lambda: self.broadcast(sender_id, frame))
             return
-        datagram = sender_id.to_bytes(_SENDER_HEADER_LEN, "big") + frame
+        datagram = encode_datagram(sender_id, frame)
         endpoint = self._endpoints.get(sender_id)
         if endpoint is None or endpoint.is_closing():
             self.send_errors += 1
@@ -247,12 +265,13 @@ class _NodeDatagramProtocol(asyncio.DatagramProtocol):
         self._node = node
 
     def datagram_received(self, data: bytes, addr) -> None:
-        if len(data) < _SENDER_HEADER_LEN:
+        decoded = decode_datagram(data)
+        if decoded is None:
             return
-        sender_id = int.from_bytes(data[:_SENDER_HEADER_LEN], "big")
+        sender_id, frame = decoded
         self._transport.frames_delivered += 1
         self._transport.trace.count("net.frames_delivered")
-        self._node.receive(sender_id, data[_SENDER_HEADER_LEN:])
+        self._node.receive(sender_id, frame)
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover
         self._transport.send_errors += 1

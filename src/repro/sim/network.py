@@ -67,6 +67,10 @@ class Network:
             self._adjacency[nid].append(BS_ID)
 
         self._next_node_id = deployment.n + FIRST_NODE_ID
+        # Nodes outside the deployment's spatial index (the BS and any
+        # post-deployment joins): add_node range-checks these directly.
+        self._extra_ids: list[int] = [BS_ID]
+        self._sensor_ids: list[int] | None = None
 
     @classmethod
     def build(
@@ -94,8 +98,14 @@ class Network:
         return self._adjacency[node_id]
 
     def sensor_ids(self) -> list[int]:
-        """Ids of ordinary sensors (excludes the base station), sorted."""
-        return sorted(nid for nid in self.nodes if nid != BS_ID)
+        """Ids of ordinary sensors (excludes the base station), sorted.
+
+        Cached (and invalidated by :meth:`add_node`) — this is hot via
+        :meth:`alive_sensor_ids`. Callers must not mutate the result.
+        """
+        if self._sensor_ids is None:
+            self._sensor_ids = sorted(nid for nid in self.nodes if nid != BS_ID)
+        return self._sensor_ids
 
     def alive_sensor_ids(self) -> list[int]:
         """Ids of sensors still alive."""
@@ -115,14 +125,22 @@ class Network:
         node = SensorNode(self, nid, position, EnergyMeter(self.energy_model))
         self.nodes[nid] = node
         radius = self.deployment.radius
-        neighbors: list[int] = []
-        for other_id, other in self.nodes.items():
-            if other_id == nid:
-                continue
+        # Original deployment: one cell-grid disk query instead of an
+        # all-nodes distance scan. The BS and earlier joins are the only
+        # nodes outside the index; check that handful directly.
+        neighbors = [
+            int(j) + FIRST_NODE_ID
+            for j in self.deployment.nodes_within(position, radius)
+        ]
+        for other_id in self._extra_ids:
+            other = self.nodes[other_id]
             if float(np.linalg.norm(other.position - position)) <= radius:
                 neighbors.append(other_id)
-                self._adjacency[other_id].append(nid)
+        for other_id in neighbors:
+            self._adjacency[other_id].append(nid)
         self._adjacency[nid] = neighbors
+        self._extra_ids.append(nid)
+        self._sensor_ids = None
         return node
 
     def hop_gradient(self) -> dict[int, int]:

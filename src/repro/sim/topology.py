@@ -24,6 +24,62 @@ import numpy as np
 from repro.util.validate import check_positive
 
 
+class CellGrid:
+    """Uniform spatial hash over a fixed set of positions.
+
+    Buckets node indices into square cells of ``cell_size`` once (O(n)),
+    then answers disk queries by scanning only the cells the disk can
+    touch — the same decomposition :func:`neighbor_lists` uses, exposed
+    as a reusable index. The sharded runtime also leans on the cell
+    coordinates themselves (:meth:`cell_of`) to carve a deployment into
+    contiguous regions.
+    """
+
+    __slots__ = ("positions", "cell_size", "_buckets")
+
+    def __init__(self, positions: np.ndarray, cell_size: float) -> None:
+        check_positive("cell_size", cell_size)
+        self.positions = np.asarray(positions, dtype=float)
+        self.cell_size = cell_size
+        cells = np.floor(self.positions / cell_size).astype(np.int64)
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for i, key in enumerate(map(tuple, cells)):
+            buckets.setdefault(key, []).append(i)
+        self._buckets = {k: np.array(v, dtype=np.int64) for k, v in buckets.items()}
+
+    def cell_of(self, point: np.ndarray) -> tuple[int, int]:
+        """Cell coordinates of an arbitrary ``point``."""
+        point = np.asarray(point, dtype=float)
+        return (
+            int(math.floor(point[0] / self.cell_size)),
+            int(math.floor(point[1] / self.cell_size)),
+        )
+
+    def query_disk(self, point: np.ndarray, radius: float) -> np.ndarray:
+        """Sorted indices of positions within ``radius`` of ``point``.
+
+        Ties at exactly ``radius`` are included, matching
+        :func:`neighbor_lists` semantics.
+        """
+        check_positive("radius", radius)
+        point = np.asarray(point, dtype=float)
+        cx, cy = self.cell_of(point)
+        reach = int(math.ceil(radius / self.cell_size))
+        parts = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                part = self._buckets.get((cx + dx, cy + dy))
+                if part is not None:
+                    parts.append(part)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.concatenate(parts)
+        d2 = np.sum((self.positions[candidates] - point) ** 2, axis=1)
+        hits = candidates[d2 <= radius * radius]
+        hits.sort()
+        return hits
+
+
 def neighbor_lists(positions: np.ndarray, radius: float) -> list[np.ndarray]:
     """Unit-disk neighbor lists: ``result[i]`` = indices within ``radius`` of i.
 
@@ -72,6 +128,19 @@ class Deployment:
     def __post_init__(self) -> None:
         if not self.neighbors:
             self.neighbors = neighbor_lists(self.positions, self.radius)
+        self._grid: CellGrid | None = None
+
+    @property
+    def cell_grid(self) -> CellGrid:
+        """Lazily built spatial index over the deployed positions.
+
+        Cell size is the unit-disk ``radius``, so a radius-r disk query
+        touches at most a 3x3 stencil. (Named ``cell_grid`` because
+        :meth:`grid` is the regular-grid constructor.)
+        """
+        if self._grid is None:
+            self._grid = CellGrid(self.positions, self.radius)
+        return self._grid
 
     @property
     def n(self) -> int:
@@ -121,9 +190,15 @@ class Deployment:
         return float(np.linalg.norm(self.positions[i] - self.positions[j]))
 
     def nodes_within(self, point: np.ndarray, radius: float) -> np.ndarray:
-        """Indices of nodes within ``radius`` of an arbitrary ``point``."""
-        d2 = np.sum((self.positions - np.asarray(point, dtype=float)) ** 2, axis=1)
-        return np.flatnonzero(d2 <= radius * radius)
+        """Indices of nodes within ``radius`` of an arbitrary ``point``.
+
+        Served from the cell grid — a stencil of cells instead of an
+        all-nodes distance scan — so post-deployment joins stay cheap
+        even at 10k nodes.
+        """
+        if self.n == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.cell_grid.query_disk(point, radius)
 
     def connected_components(self) -> list[np.ndarray]:
         """Connected components of the unit-disk graph (BFS flood)."""

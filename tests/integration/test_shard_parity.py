@@ -1,0 +1,104 @@
+"""Sharded/single-process equivalence: same seed, same protocol outcome.
+
+The region-sharded runtime's correctness claim (docs/RUNTIME.md) is that
+partitioning the deployment over worker processes changes *where* events
+execute, never *what* executes: conservative lookahead windows preserve
+the global event order and the null-transport trick preserves RNG stream
+consumption. These tests pin the strongest observable form of that claim
+— the full cluster assignment, per-node key counts, setup message counts
+and the network frame counters are equal to the single-process loopback
+run — plus run-to-run determinism of the sharded path itself.
+
+Kept at small n so the whole file stays in tier-1 time budget; the
+paper-scale sizes run in ``repro bench runtime`` (same assertion).
+"""
+
+import pytest
+
+from repro.runtime.cluster import deploy_live
+from repro.runtime.shard import run_sharded_setup
+
+N, DENSITY, SEED = 120, 10.0, 7
+
+_COMPARED_COUNTERS = (
+    "tx.hello",
+    "tx.linkinfo",
+    "net.frames_sent",
+    "net.frames_delivered",
+    "net.bytes_sent",
+)
+
+
+@pytest.fixture(scope="module")
+def single():
+    """One single-process loopback setup all parity tests compare against."""
+    deployed, metrics = deploy_live(N, DENSITY, seed=SEED, transport="loopback")
+    return deployed, metrics
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    """One 4-worker sharded setup of the same deployment."""
+    return run_sharded_setup(N, DENSITY, seed=SEED, shards=4)
+
+
+def test_cluster_assignment_matches_single_process(single, sharded):
+    _deployed, metrics = single
+    assert sharded.metrics.clusters == metrics.clusters
+
+
+def test_keys_per_node_match_single_process(single, sharded):
+    _deployed, metrics = single
+    assert sharded.metrics.keys_per_node == metrics.keys_per_node
+
+
+def test_setup_message_counts_match_single_process(single, sharded):
+    _deployed, metrics = single
+    assert sharded.metrics.hello_messages == metrics.hello_messages
+    assert sharded.metrics.linkinfo_messages == metrics.linkinfo_messages
+
+
+def test_network_counters_match_single_process(single, sharded):
+    deployed, _metrics = single
+    counters = deployed.network.trace.counters
+    merged = sharded.trace.telemetry.registry
+    for name in _COMPARED_COUNTERS:
+        assert merged.counter(name) == counters[name], name
+
+
+def test_events_executed_match_single_process(single, sharded):
+    deployed, _metrics = single
+    assert sharded.events_executed == deployed.network.transport.events_executed
+
+
+def test_shard_gauges_published(sharded):
+    gauges = sharded.trace.telemetry.registry.gauges
+    assert gauges["shard.count"] == 4
+    assert gauges["shard.windows"] == sharded.windows > 0
+    assert gauges["shard.cross_frames"] == sharded.cross_frames > 0
+    assert gauges["shard.cut_links"] == sharded.plan.cut_links > 0
+
+
+def test_sharded_run_is_deterministic(sharded):
+    again = run_sharded_setup(N, DENSITY, seed=SEED, shards=4)
+    assert again.metrics.clusters == sharded.metrics.clusters
+    assert again.metrics.keys_per_node == sharded.metrics.keys_per_node
+    assert again.windows == sharded.windows
+    assert again.cross_frames == sharded.cross_frames
+    assert again.registry_snapshot == sharded.registry_snapshot
+
+
+def test_single_shard_degenerates_to_loopback(single):
+    """shards=1 is the whole deployment in one worker — still exact."""
+    _deployed, metrics = single
+    result = run_sharded_setup(N, DENSITY, seed=SEED, shards=1)
+    assert result.metrics.clusters == metrics.clusters
+    assert result.cross_frames == 0
+    assert result.plan.cut_links == 0
+
+
+def test_shard_count_does_not_change_the_outcome(sharded):
+    """The equivalence relation is per-seed, not per-partitioning."""
+    result = run_sharded_setup(N, DENSITY, seed=SEED, shards=3)
+    assert result.metrics.clusters == sharded.metrics.clusters
+    assert result.metrics.keys_per_node == sharded.metrics.keys_per_node

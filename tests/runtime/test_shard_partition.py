@@ -1,0 +1,73 @@
+"""Region partitioning invariants (repro.runtime.shard.partition)."""
+
+import pytest
+
+from repro.runtime.shard import partition_network
+from repro.sim.network import BS_ID, Network
+
+N, DENSITY, SEED = 150, 10.0, 3
+
+
+@pytest.fixture(scope="module")
+def network():
+    return Network.build(N, DENSITY, seed=SEED)
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+def test_members_partition_every_node_exactly_once(network, num_shards):
+    plan = partition_network(network, num_shards)
+    seen = [nid for members in plan.members for nid in members]
+    assert sorted(seen) == sorted(network.nodes)
+    assert len(seen) == len(set(seen))
+
+
+def test_assignment_agrees_with_members(network):
+    plan = partition_network(network, 4)
+    for shard, members in enumerate(plan.members):
+        for nid in members:
+            assert plan.assignment[nid] == shard
+            assert plan.shard_of(nid) == shard
+    assert frozenset(plan.members[2]) == plan.local_ids(2)
+
+
+def test_sensor_counts_balanced_within_one(network):
+    plan = partition_network(network, 4)
+    sizes = [len([nid for nid in m if nid != BS_ID]) for m in plan.members]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == N
+
+
+def test_cut_links_counts_cross_shard_edges_once(network):
+    plan = partition_network(network, 4)
+    expected = sum(
+        1
+        for nid in network.nodes
+        for peer in network.adjacency(nid)
+        if nid < peer and plan.assignment[nid] != plan.assignment[peer]
+    )
+    assert plan.cut_links == expected > 0
+
+
+def test_single_shard_has_no_cut(network):
+    plan = partition_network(network, 1)
+    assert plan.cut_links == 0
+    assert set(plan.members[0]) == set(network.nodes)
+
+
+def test_base_station_is_assigned(network):
+    plan = partition_network(network, 5)
+    assert BS_ID in plan.assignment
+    assert BS_ID in plan.members[plan.shard_of(BS_ID)]
+
+
+def test_partition_is_deterministic(network):
+    first = partition_network(network, 4)
+    second = partition_network(network, 4)
+    assert first.assignment == second.assignment
+    assert first.cut_links == second.cut_links
+
+
+@pytest.mark.parametrize("num_shards", [0, -1, N + 1])
+def test_invalid_shard_counts_rejected(network, num_shards):
+    with pytest.raises(ValueError):
+        partition_network(network, num_shards)

@@ -1,0 +1,93 @@
+"""Interconnect wire-protocol round trips (repro.runtime.shard.wire)."""
+
+import socket
+
+import pytest
+
+from repro.runtime.shard.wire import (
+    MSG_RUN,
+    MSG_STOP,
+    pack_done,
+    pack_frames,
+    pack_hello,
+    pack_report,
+    pack_run,
+    recv_message,
+    send_message,
+    unpack_done,
+    unpack_frames,
+    unpack_hello,
+    unpack_report,
+    unpack_run,
+)
+
+FRAMES = [
+    (0.125, 7, b"\x00\x01hello"),
+    (0.125, 2048, b""),
+    (3.5, 7, bytes(range(256))),
+]
+
+
+def test_frames_round_trip():
+    assert unpack_frames(pack_frames(FRAMES)) == FRAMES
+    assert unpack_frames(pack_frames([])) == []
+
+
+def test_truncated_datagram_rejected():
+    packed = pack_frames([(1.0, 9, b"abcdef")])
+    with pytest.raises(ValueError):
+        unpack_frames(packed[:-3])
+
+
+def test_hello_round_trip():
+    assert unpack_hello(pack_hello(13)) == 13
+
+
+def test_run_round_trip():
+    limit, inclusive, frames = unpack_run(pack_run(7.0, True, FRAMES))
+    assert (limit, inclusive, frames) == (7.0, True, FRAMES)
+    limit, inclusive, frames = unpack_run(pack_run(0.25, False, []))
+    assert (limit, inclusive, frames) == (0.25, False, [])
+
+
+def test_done_round_trip():
+    next_time, executed, frames = unpack_done(pack_done(2.5, 9001, FRAMES))
+    assert (next_time, executed, frames) == (2.5, 9001, FRAMES)
+    next_time, _executed, frames = unpack_done(pack_done(float("inf"), 0, []))
+    assert next_time == float("inf")
+    assert frames == []
+
+
+def test_report_round_trip():
+    report = {"shard": 2, "cids": {"5": 5, "6": None}, "registry": {"counters": {}}}
+    assert unpack_report(pack_report(report)) == report
+
+
+def test_report_must_be_an_object():
+    with pytest.raises(ValueError):
+        unpack_report(b"[1, 2, 3]")
+
+
+def test_messages_round_trip_over_a_socket():
+    server, client = socket.socketpair()
+    try:
+        send_message(client, MSG_RUN, pack_run(1.0, False, FRAMES))
+        send_message(client, MSG_STOP)
+        msg_type, payload = recv_message(server)
+        assert msg_type == MSG_RUN
+        assert unpack_run(payload) == (1.0, False, FRAMES)
+        msg_type, payload = recv_message(server)
+        assert (msg_type, payload) == (MSG_STOP, b"")
+    finally:
+        server.close()
+        client.close()
+
+
+def test_peer_close_raises_connection_error():
+    server, client = socket.socketpair()
+    client.close()
+    try:
+        with pytest.raises(ConnectionError):
+            recv_message(server)
+    finally:
+        server.close()

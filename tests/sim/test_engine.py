@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import EventQueue, Simulator
+from repro.sim.engine import _COMPACT_MIN_CANCELLED, EventQueue, Simulator
 
 
 def test_events_fire_in_time_order():
@@ -167,3 +167,82 @@ def test_loopback_pending_matches_engine_semantics():
     assert transport.pending == 1
     transport.run()
     assert transport.pending == 0
+
+
+def test_pop_due_exclusive_boundary_stays_queued():
+    """Exclusive mode (the sharded runtime's interior windows) leaves the
+    boundary event untouched; inclusive mode then takes it."""
+    q = EventQueue()
+    q.push(1.0, lambda: "a")
+    q.push(2.0, lambda: "b")
+    time, callback = q.pop_due(2.0, inclusive=False)
+    assert (time, callback()) == (1.0, "a")
+    assert q.pop_due(2.0, inclusive=False) is None
+    assert len(q) == 1  # the boundary event is still live
+    time, callback = q.pop_due(2.0, inclusive=True)
+    assert (time, callback()) == (2.0, "b")
+
+
+def test_pop_due_without_limit_drains_in_order():
+    q = EventQueue()
+    for t in (3.0, 1.0, 2.0):
+        q.push(t, lambda t=t: t)
+    popped = []
+    while (item := q.pop_due()) is not None:
+        popped.append(item[0])
+    assert popped == [1.0, 2.0, 3.0]
+
+
+def test_pop_due_marks_handle_fired():
+    q = EventQueue()
+    handle = q.push(1.0, lambda: None)
+    q.pop_due(5.0)
+    assert handle.fired
+    handle.cancel()  # must be a no-op, not a tombstone
+    assert not handle.cancelled
+    assert len(q) == 0
+
+
+def test_compaction_fires_under_heavy_cancel_churn():
+    """An election-style burst — schedule n timers, cancel most — must
+    shrink the heap itself, not just the live count."""
+    q = EventQueue()
+    handles = [q.push(float(i), lambda i=i: i) for i in range(1000)]
+    for i, handle in enumerate(handles):
+        if i % 10:
+            handle.cancel()
+    assert len(q) == 100
+    # Tombstones can never dominate: compaction keeps them under half
+    # the heap (plus the burst that triggers the rebuild).
+    assert len(q._heap) <= 2 * len(q) + _COMPACT_MIN_CANCELLED + 1
+    survivors = []
+    while (item := q.pop_due()) is not None:
+        survivors.append(item[1]())
+    assert survivors == [i for i in range(1000) if i % 10 == 0]
+
+
+def test_cancel_churn_interleaved_with_pops():
+    """Cancel-while-draining (hello timers cancelled as clusters form)."""
+    q = EventQueue()
+    handles = {i: q.push(float(i), lambda i=i: i) for i in range(200)}
+    fired = []
+    while (item := q.pop_due()) is not None:
+        value = item[1]()
+        fired.append(value)
+        # Each fired event cancels the next three still-pending timers.
+        for offset in (1, 2, 3):
+            if value + offset in handles:
+                handles[value + offset].cancel()
+    assert fired == [i for i in range(200) if i % 4 == 0]
+    assert len(q) == 0
+
+
+def test_below_threshold_cancels_keep_tombstones():
+    """Tiny queues never compact — the rebuild would cost more than the
+    tombstones (and pops reclaim them lazily anyway)."""
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(60)]
+    for handle in handles[:59]:
+        handle.cancel()
+    assert len(q) == 1
+    assert len(q._heap) == 60  # all tombstones still parked

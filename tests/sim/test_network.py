@@ -84,3 +84,39 @@ def test_hop_gradient_skips_dead_nodes():
     hops = net.hop_gradient()
     assert hops[4] == -1  # cut off behind the dead node
     assert hops[2] == 2
+
+
+def test_add_node_neighbors_match_brute_force_distances():
+    """The grid-accelerated add_node must link exactly the nodes within
+    radius — including previously added nodes and the base station."""
+    net = Network.build(120, 10.0, seed=5)
+    radius = net.deployment.radius
+    positions = {nid: net.nodes[nid].position for nid in net.nodes}
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        point = rng.uniform(0, net.deployment.side, size=2)
+        expected = {
+            nid
+            for nid, pos in positions.items()
+            if float(np.linalg.norm(np.asarray(pos) - point)) <= radius
+        }
+        nid = net.add_node(tuple(point)).id
+        assert set(net.adjacency(nid)) == expected
+        for peer in expected:
+            assert nid in net.adjacency(peer)
+        positions[nid] = net.nodes[nid].position
+
+
+def test_sensor_ids_cached_between_calls():
+    net = Network.build(30, 8.0, seed=2)
+    assert net.sensor_ids() is net.sensor_ids()
+
+
+def test_sensor_ids_cache_invalidated_by_add_node():
+    net = Network.build(30, 8.0, seed=2)
+    before = net.sensor_ids()
+    nid = net.add_node((1.0, 1.0)).id
+    after = net.sensor_ids()
+    assert nid in after
+    assert nid not in before
+    assert after == sorted(before + [nid])
