@@ -25,10 +25,11 @@ import sys
 import tomllib
 from pathlib import Path
 
-#: Size of the baseline as first generated (mypy 1.x over the tree that
-#: introduced [tool.mypy]). The ratchet: the committed baseline must stay
-#: strictly below this.
-FIRST_BASELINE = 105
+#: Ratchet ceiling: the committed baseline must stay strictly below this.
+#: Originally 105 (mypy 1.x over the tree that introduced [tool.mypy]);
+#: re-armed to 88 after the re-export packages were annotated out, so the
+#: cleaned entries can never silently creep back in.
+FIRST_BASELINE = 88
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 

@@ -26,13 +26,19 @@ from repro.analysis.lint.core import (
 )
 from repro.analysis.lint.output import render_findings
 
-# Importing the rule pack registers every rule with the engine.
+# Importing the rule packs registers every rule with the engine.
 from repro.analysis.lint import rules as _rules  # noqa: F401
+from repro.analysis.lint import rules_conc as _rules_conc  # noqa: F401
+from repro.analysis.lint import rules_res as _rules_res  # noqa: F401
+from repro.analysis.lint import rules_wire as _rules_wire  # noqa: F401
+from repro.analysis.lint.project import CallGraph, ProjectIndex
 
 __all__ = [
+    "CallGraph",
     "FileContext",
     "Finding",
     "LintConfig",
+    "ProjectIndex",
     "Rule",
     "all_rules",
     "lint_paths",

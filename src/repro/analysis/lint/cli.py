@@ -1,15 +1,23 @@
 """ldplint command line: ``repro lint`` / ``python -m repro.analysis``.
 
-Exit codes: 0 clean, 1 findings, 2 usage/config/parse error.
+Exit codes: 0 clean, 1 findings, 2 usage/config/parse error — stable
+for pre-commit hooks and CI (documented in docs/ANALYSIS.md).
+
+``--changed`` lints only the ``.py`` files touched relative to a git
+ref (default ``HEAD``): the pre-commit fast path. The project index is
+still built over the changed set only — cross-module summaries degrade
+gracefully to what the diff can see, so a clean ``--changed`` run is
+necessary but not sufficient; CI runs the full tree.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
-from repro.analysis.lint.config import load_config
+from repro.analysis.lint.config import LintConfig, load_config
 from repro.analysis.lint.core import all_rules, lint_paths
 from repro.analysis.lint.output import FORMATS, render_findings
 
@@ -52,7 +60,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--profile",
+        default="strict",
+        metavar="NAME",
+        help=(
+            "rule profile: strict (default), relaxed (tests/scripts/"
+            "benchmarks), or a [tool.ldplint.profiles.<name>] table"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "lint only .py files changed vs. a git ref (default HEAD); "
+            "includes staged, unstaged and untracked files"
+        ),
+    )
     return parser
+
+
+def changed_files(root: Path, ref: str) -> list[str] | None:
+    """``.py`` files changed relative to ``ref``, repo-root-relative.
+
+    Unions the committed diff against ``ref`` with untracked files so a
+    pre-commit run sees exactly what the working tree would commit.
+    Returns ``None`` when git itself fails (not a repo, bad ref).
+    """
+    picked: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "--diff-filter=d", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        picked.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return sorted(str(root / rel) for rel in picked if (root / rel).is_file())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -70,6 +124,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.disable:
         config.disable = config.disable | frozenset(args.disable)
+    try:
+        config.apply_profile(args.profile)
+    except ValueError as exc:
+        print(f"ldplint: {exc}", file=sys.stderr)
+        return 2
+    if args.changed is not None:
+        return _run_changed(args, config)
     paths = args.paths or [
         str(config.root / p) if config.root else p for p in config.paths
     ]
@@ -81,6 +142,36 @@ def main(argv: list[str] | None = None) -> int:
         findings = lint_paths(paths, config)
     except SyntaxError as exc:
         print(f"ldplint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return 2
+    print(render_findings(findings, args.format))
+    return 1 if findings else 0
+
+
+def _run_changed(args: argparse.Namespace, config: LintConfig) -> int:
+    """The ``--changed`` path: diff-scope the lint run."""
+    root = config.root if config.root is not None else Path.cwd()
+    picked = changed_files(root, args.changed)
+    if picked is None:
+        print(
+            f"ldplint: git diff against {args.changed!r} failed "
+            f"(not a repository, or bad ref)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.paths:
+        # Positional paths narrow the changed set further (prefix match).
+        prefixes = tuple(str(Path(p).resolve()) for p in args.paths)
+        picked = [p for p in picked if str(Path(p).resolve()).startswith(prefixes)]
+    if not picked:
+        print(render_findings([], args.format))
+        return 0
+    try:
+        findings = lint_paths(picked, config)
+    except SyntaxError as exc:
+        print(
+            f"ldplint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+            file=sys.stderr,
+        )
         return 2
     print(render_findings(findings, args.format))
     return 1 if findings else 0

@@ -6,9 +6,13 @@ Recognized keys::
     paths = ["src/repro"]          # default lint targets
     exclude = []                   # logical-path prefixes to skip
     disable = []                   # rule ids disabled repo-wide
+    validators = []                # extra WIRE decoder/validator names
 
     [tool.ldplint.scopes]          # override a rule's path scope
     RNG001 = ["src/repro/protocol", "src/repro/crypto"]
+
+    [tool.ldplint.profiles.relaxed]   # override the built-in relaxed set
+    disable = ["KEY002", "CONC001"]
 
 Config is optional everywhere: with no ``pyproject.toml`` (or no table)
 the built-in defaults apply, so the analyzer also runs on bare fixture
@@ -20,6 +24,25 @@ from __future__ import annotations
 import tomllib
 from dataclasses import dataclass, field
 from pathlib import Path
+
+#: Rule ids the built-in ``relaxed`` profile turns off. Tests, scripts
+#: and benchmarks legitimately hold keys without erasing them, repr keys
+#: (the redaction tests exist to), assert MAC equality with ``==``, pin
+#: literal counters in test vectors, poke raw wire bytes to build
+#: malformed inputs, and lean on process teardown for cleanup. What
+#: stays on: CONC002 (blocking under a lock deadlocks a test run too)
+#: and the path-scoped RNG/SIM rules.
+RELAXED_DISABLE = (
+    "KEY001",
+    "KEY002",
+    "CRYPT001",
+    "CRYPT002",
+    "CONC001",
+    "CONC003",
+    "WIRE001",
+    "WIRE002",
+    "RES001",
+)
 
 
 @dataclass
@@ -34,8 +57,33 @@ class LintConfig:
     disable: frozenset[str] = frozenset()
     #: Per-rule path-scope overrides (rule id -> prefixes).
     scopes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Extra bare function names the WIRE rules accept as validators.
+    validators: tuple[str, ...] = ()
+    #: Named rule profiles (profile -> rule ids to disable).
+    profiles: dict[str, tuple[str, ...]] = field(default_factory=dict)
     #: Repository root used to compute logical paths (None = cwd-relative).
     root: Path | None = None
+
+    def apply_profile(self, name: str) -> None:
+        """Merge a named profile's disable set into this config.
+
+        ``strict`` (the default) disables nothing. ``relaxed`` applies
+        :data:`RELAXED_DISABLE` unless ``[tool.ldplint.profiles.relaxed]``
+        overrides it.
+
+        Raises:
+            ValueError: unknown profile name.
+        """
+        if name == "strict":
+            return
+        if name in self.profiles:
+            self.disable = self.disable | frozenset(self.profiles[name])
+            return
+        if name == "relaxed":
+            self.disable = self.disable | frozenset(RELAXED_DISABLE)
+            return
+        known = sorted({"strict", "relaxed", *self.profiles})
+        raise ValueError(f"unknown profile {name!r}; choose from {known}")
 
 
 def find_root(start: Path | None = None) -> Path | None:
@@ -80,10 +128,26 @@ def load_config(root: Path | None = None) -> LintConfig:
             raise ValueError(f"[tool.ldplint.scopes] {rule_id} must be a list of strings")
         scopes[str(rule_id)] = tuple(prefixes)
 
+    profiles_raw = table.get("profiles", {})
+    if not isinstance(profiles_raw, dict):
+        raise ValueError("[tool.ldplint.profiles] must be a table")
+    profiles: dict[str, tuple[str, ...]] = {}
+    for profile_name, block in profiles_raw.items():
+        if not isinstance(block, dict):
+            raise ValueError(f"[tool.ldplint.profiles.{profile_name}] must be a table")
+        rules = block.get("disable", [])
+        if not isinstance(rules, list) or not all(isinstance(r, str) for r in rules):
+            raise ValueError(
+                f"[tool.ldplint.profiles.{profile_name}] disable must be a list of strings"
+            )
+        profiles[str(profile_name)] = tuple(rules)
+
     return LintConfig(
         paths=_str_list("paths", ("src/repro",)),
         exclude=_str_list("exclude", ()),
         disable=frozenset(_str_list("disable", ())),
         scopes=scopes,
+        validators=_str_list("validators", ()),
+        profiles=profiles,
         root=root,
     )

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.project import ProjectIndex, parse_guard_comments
 
 #: Per-line suppression comments: one or more rule ids after the marker,
 #: comma-separated, or the word "all" (syntax in docs/ANALYSIS.md).
@@ -56,6 +57,8 @@ class FileContext:
         self.tree = ast.parse(source, filename=path)
         self.lines = source.splitlines()
         self._suppressions = _parse_suppressions(source)
+        #: Line -> lock name for ``# guarded-by:`` annotations (CONC rules).
+        self.guard_comments = parse_guard_comments(source)
 
     def suppressed(self, rule_id: str, line: int) -> bool:
         """Whether ``rule_id`` is disabled on physical ``line``."""
@@ -110,6 +113,15 @@ class Rule:
     def __init__(self, config: LintConfig) -> None:
         """Rules are instantiated once per lint run with the active config."""
         self.config = config
+        #: The shared whole-program index; assigned by the engine before
+        #: any check/collect call (:meth:`set_project`). Named ``index``
+        #: because the ``project`` class attribute already flags
+        #: collect/finalize rules.
+        self.index: ProjectIndex | None = None
+
+    def set_project(self, index: ProjectIndex) -> None:
+        """Receive the cross-module index built once for this run."""
+        self.index = index
 
     def effective_scope(self) -> tuple[str, ...] | None:
         """The path scope after config overrides."""
@@ -212,8 +224,10 @@ def lint_source(
     """
     config = config or LintConfig()
     ctx = FileContext(path, source, logical_path=logical_path)
+    index = ProjectIndex([ctx], validators=frozenset(config.validators))
     findings: list[Finding] = []
     for rule in _active_rules(config):
+        rule.set_project(index)
         if not ctx.in_scope(rule.effective_scope()):
             continue
         if rule.project:
@@ -244,6 +258,13 @@ def lint_paths(
                 str(file_path), source, logical_path=_logical_path(file_path, config.root)
             )
         )
+
+    # One whole-program index per run, shared by every rule: the call
+    # graph and interprocedural summaries cross module boundaries even
+    # when a rule's *findings* are scoped to a path subset.
+    index = ProjectIndex(contexts, validators=frozenset(config.validators))
+    for rule in rules:
+        rule.set_project(index)
 
     findings: list[Finding] = []
     project_rules: list[Rule] = []

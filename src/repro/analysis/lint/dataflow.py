@@ -13,11 +13,11 @@ on two approximations:
   flow-insensitive (one pass over the function body), which over-taints
   in pathological re-binding cases and never under-taints.
 
-* **Call-graph-lite** (:class:`ModuleIndex`) — function and method
-  definitions indexed by bare name, attribute writes and attribute
-  ``.erase()`` calls indexed by terminal attribute name. Cross-file
-  resolution is *by name, not by type*: ``st.preload.master_key.erase()``
-  in ``addition.py`` credits the ``master_key`` attribute declared in
+* **Whole-program facts** — cross-module call-graph and attribute
+  indexing now lives in :class:`repro.analysis.lint.project.ProjectIndex`
+  (the v2 replacement for v1's per-module call-graph-lite). Resolution
+  is *by name, not by type*: ``st.preload.master_key.erase()`` in
+  ``addition.py`` credits the ``master_key`` attribute declared in
   ``state.py``. Name-keyed matching is deliberately generous (a lint
   must not cry wolf); the runtime twin tests keep it honest.
 """
@@ -74,10 +74,15 @@ def is_key_producer_call(node: ast.expr) -> bool:
 class KeyTaint:
     """Flow-insensitive key-material taint for one function (or module) body."""
 
-    def __init__(self, body_root: ast.AST) -> None:
+    def __init__(
+        self, body_root: ast.AST, extra_producers: frozenset[str] = frozenset()
+    ) -> None:
         """Index every assignment under ``body_root`` once, then answer
         :meth:`is_tainted` queries; iterate to a fixpoint so taint flows
-        through chains of local aliases."""
+        through chains of local aliases. ``extra_producers`` adds bare
+        call names treated as key producers — the interprocedural
+        key-returner set from the project index."""
+        self._extra_producers = extra_producers
         self._tainted: set[str] = set()
         assigns: list[tuple[str, ast.expr]] = []
         for node in ast.walk(body_root):
@@ -113,6 +118,8 @@ class KeyTaint:
             return False
         if isinstance(node, ast.Call):
             if is_key_producer_call(node):
+                return True
+            if terminal_name(node.func) in self._extra_producers:
                 return True
             if isinstance(node.func, ast.Attribute):
                 return self.is_tainted(node.func.value)
@@ -153,37 +160,3 @@ def scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
             continue
         stack.extend(ast.iter_child_nodes(node))
-
-
-class ModuleIndex:
-    """Call-graph-lite facts about one module, keyed by bare names."""
-
-    def __init__(self, tree: ast.Module) -> None:
-        """Walk ``tree`` once, indexing defs, erase calls and aliases."""
-        #: Terminal attribute names on which ``.erase()`` is called, e.g.
-        #: ``st.preload.master_key.erase()`` -> ``master_key``.
-        self.erased_attrs: set[str] = set()
-        #: Local names on which ``.erase()`` is called, resolved through
-        #: one level of aliasing (``old = st.x; old.erase()`` -> ``x``).
-        self._erased_names: set[str] = set()
-        #: name -> terminal attr it aliases (``old = st.keyring.get(cid)``
-        #: does not alias an attribute; ``old = self.k_init`` does).
-        aliases: dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Attribute):
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        aliases[target.id] = node.value.attr
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "erase"
-            ):
-                owner = node.func.value
-                if isinstance(owner, ast.Attribute):
-                    self.erased_attrs.add(owner.attr)
-                elif isinstance(owner, ast.Name):
-                    self._erased_names.add(owner.id)
-        for name in self._erased_names:
-            if name in aliases:
-                self.erased_attrs.add(aliases[name])

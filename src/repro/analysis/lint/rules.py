@@ -15,9 +15,7 @@ from typing import Iterator
 from repro.analysis.lint.core import FileContext, Finding, Rule, register
 from repro.analysis.lint.dataflow import (
     KeyTaint,
-    ModuleIndex,
     functions_of,
-    is_key_producer_call,
     scope_nodes,
     terminal_name,
 )
@@ -71,9 +69,17 @@ class Key001KeyMaterialLeak(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        """Flag tainted expressions appearing in any leak sink."""
+        """Flag tainted expressions appearing in any leak sink.
+
+        Taint is interprocedural: any project function whose return
+        value derives from a key producer (the index's key-returner
+        fixpoint) taints its callers' locals like a producer would.
+        """
+        extra = (
+            self.index.key_returner_names() if self.index is not None else frozenset()
+        )
         for scope in functions_of(ctx.tree):
-            taint = KeyTaint(scope)
+            taint = KeyTaint(scope, extra_producers=extra)
             yield from self._scan(ctx, scope, taint)
 
     def _scan(
@@ -132,47 +138,19 @@ class Key002MissingErase(Rule):
     )
     project = True
 
-    def __init__(self, config) -> None:  # noqa: D107 - see base class
-        super().__init__(config)
-        #: (logical_path, line, col, class_name, attr) of key-typed attributes.
-        self._held: list[tuple[str, int, int, str, str]] = []
-        #: Terminal attribute names credited with an erase call, anywhere.
-        self._erased: set[str] = set()
-
-    def collect(self, ctx: FileContext) -> None:
-        """Record key-typed attributes and erase calls in one file."""
-        self._erased.update(ModuleIndex(ctx.tree).erased_attrs)
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ClassDef):
-                for attr, anchor in self._key_attrs(node):
-                    self._held.append(
-                        (ctx.logical_path, anchor.lineno, anchor.col_offset, node.name, attr)
-                    )
-
-    @staticmethod
-    def _key_attrs(cls: ast.ClassDef) -> Iterator[tuple[str, ast.AST]]:
-        """Attributes of ``cls`` that statically hold a SymmetricKey."""
-        for stmt in cls.body:
-            # Dataclass-style: ``master_key: SymmetricKey`` (optionally | None).
-            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
-                if "SymmetricKey" in ast.dump(stmt.annotation):
-                    yield stmt.target.id, stmt
-        for node in ast.walk(cls):
-            # Imperative: ``self.x = SymmetricKey(...)`` / ``.generate(...)``.
-            if isinstance(node, ast.Assign) and is_key_producer_call(node.value):
-                for target in node.targets:
-                    if (
-                        isinstance(target, ast.Attribute)
-                        and isinstance(target.value, ast.Name)
-                        and target.value.id == "self"
-                    ):
-                        yield target.attr, node
-
     def finalize(self) -> Iterator[Finding]:
-        """Emit one finding per never-erased key attribute."""
+        """Emit one finding per never-erased key attribute.
+
+        Both sides of the check come from the shared project index:
+        key-typed attributes (dataclass annotations and producer-call
+        assignments) and the erasure credit set, collected once over
+        every file in the run rather than per-rule.
+        """
+        index = self.index
+        assert index is not None
         seen: set[tuple[str, str, str]] = set()
-        for path, line, col, class_name, attr in self._held:
-            if attr in self._erased:
+        for path, line, col, class_name, attr in index.key_attrs:
+            if attr in index.erased_attrs:
                 continue
             key = (path, class_name, attr)
             if key in seen:

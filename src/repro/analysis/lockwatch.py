@@ -1,0 +1,284 @@
+"""lockwatch: dynamic lock-order inversion detection for the test suite.
+
+ldplint's CONC rules are static and lexical; they cannot see the
+*order* in which threads actually take locks at runtime. lockwatch is
+the dynamic complement: an opt-in shim that replaces ``threading.Lock``
+and ``threading.RLock`` with recording wrappers, runs a test suite (by
+default the gateway/federation tests — the code with real thread
+interleavings), and fails if two locks were ever taken in both orders.
+
+Two locks acquired as A→B on one code path and B→A on another are a
+deadlock that needs only the right interleaving; the inversion is
+visible in a single-threaded run of both paths, which is why driving
+the existing test suite is enough to catch it. Each lock is identified
+by its creation site (``file:line`` of the factory call), so the
+report points at the two constructions to reconcile.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis.lockwatch tests/gateway -q
+
+Exit codes: pytest's own code if the suite fails, ``1`` if the suite
+passed but an inversion was recorded, ``0`` when ordered and green.
+
+Known blind spot: a ``Condition`` built over an ``RLock`` bypasses the
+wrapper during ``wait()`` (CPython calls ``_release_save`` directly on
+the inner lock). The held-stack therefore keeps the lock "held" across
+the park — which is exactly the conservative reading for ordering
+purposes, so recorded edges stay sound.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "LockOrderInversion",
+    "LockWatcher",
+    "main",
+    "watched_locks",
+]
+
+#: The real factories, captured at import so the watcher's own internal
+#: lock and the restore path never see the patched names.
+_ORIG_LOCK = threading.Lock
+_ORIG_RLOCK = threading.RLock
+
+
+class LockOrderInversion(AssertionError):
+    """Raised by :meth:`LockWatcher.check` when both orders were seen."""
+
+
+def _thread_tag() -> str:
+    """The running thread's name, without ``threading.current_thread()``.
+
+    ``current_thread()`` during thread bootstrap (before the thread is
+    registered in ``_active``) constructs a ``_DummyThread``, whose
+    ``Event`` would re-enter the patched lock factory and recurse
+    forever. ``get_ident`` is a C-level read and always safe; the
+    ``_active`` lookup is a GIL-atomic dict read.
+    """
+    ident = threading.get_ident()
+    info = threading._active.get(ident)  # type: ignore[attr-defined]
+    return info.name if info is not None else f"tid-{ident}"
+
+
+#: Frames to skip when attributing a lock to its creation site: this
+#: module and threading itself (``Condition()`` builds its RLock one
+#: frame down). Exact paths, not suffixes — a *test_lockwatch.py* frame
+#: must still count as a creation site.
+_INTERNAL_FILES = frozenset({__file__, threading.__file__})
+
+
+def _creation_site() -> str:
+    """``file:line`` of the frame that called the lock factory."""
+    for frame in reversed(traceback.extract_stack()):
+        if frame.filename in _INTERNAL_FILES:
+            continue
+        return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+@dataclass
+class _Edge:
+    """First witness of one ordered acquisition ``first -> second``."""
+
+    first: str
+    second: str
+    thread: str
+
+
+class _WatchedLock:
+    """Recording proxy over one Lock/RLock instance."""
+
+    def __init__(self, inner: Any, watcher: "LockWatcher", site: str) -> None:
+        self._inner = inner
+        self._watcher = watcher
+        self._site = site
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        """Acquire the wrapped lock, then record the ordering edge."""
+        got = bool(self._inner.acquire(*args, **kwargs))
+        if got:
+            self._watcher._note_acquire(self)
+        return got
+
+    def release(self) -> None:
+        """Record the release, then release the wrapped lock."""
+        self._watcher._note_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> "_WatchedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __getattr__(self, name: str) -> Any:
+        # locked(), _release_save, _acquire_restore, _is_owned...
+        # delegate so Condition and friends keep working.
+        return getattr(self._inner, name)
+
+
+class LockWatcher:
+    """Acquisition-order recorder shared by every watched lock."""
+
+    def __init__(self) -> None:
+        """All internal state is guarded by an *unwatched* lock."""
+        self._tls = threading.local()
+        self._state_lock = _ORIG_LOCK()
+        #: (first_site, second_site) -> first witness of that order.
+        self._edges: dict[tuple[str, str], _Edge] = {}
+
+    # -- wrapper callbacks ---------------------------------------------------
+
+    def _note_acquire(self, lock: _WatchedLock) -> None:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        if any(h is lock for h in held):
+            held.append(lock)  # reentrant re-acquire: no new ordering info
+            return
+        thread = _thread_tag()
+        with self._state_lock:
+            for prior in held:
+                if prior._site == lock._site:
+                    continue
+                pair = (prior._site, lock._site)
+                if pair not in self._edges:
+                    self._edges[pair] = _Edge(prior._site, lock._site, thread)
+        held.append(lock)
+
+    def _note_release(self, lock: _WatchedLock) -> None:
+        held = getattr(self._tls, "held", None)
+        if not held:
+            return
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] is lock:
+                del held[i]
+                return
+
+    # -- reporting -----------------------------------------------------------
+
+    def edges(self) -> dict[tuple[str, str], _Edge]:
+        """Snapshot of every recorded ordered pair."""
+        with self._state_lock:
+            return dict(self._edges)
+
+    def inversions(self) -> list[tuple[_Edge, _Edge]]:
+        """Every pair of edges witnessed in both orders (A→B and B→A)."""
+        edges = self.edges()
+        out: list[tuple[_Edge, _Edge]] = []
+        for (a, b), edge in sorted(edges.items()):
+            if a < b and (b, a) in edges:
+                out.append((edge, edges[(b, a)]))
+        return out
+
+    def cycles(self) -> list[list[str]]:
+        """Lock-site cycles of any length in the acquisition-order graph.
+
+        Pairwise inversions are length-2 cycles; a three-lock A→B→C→A
+        deadlock has no pairwise witness, so the report includes a DFS
+        cycle search over the full edge graph too.
+        """
+        edges = self.edges()
+        graph: dict[str, set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+        cycles: list[list[str]] = []
+        seen_cycles: set[frozenset[str]] = set()
+
+        def dfs(node: str, path: list[str], on_path: set[str]) -> None:
+            for nxt in sorted(graph.get(node, ())):
+                if nxt in on_path:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    key = frozenset(cycle)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        cycles.append(cycle)
+                    continue
+                dfs(nxt, path + [nxt], on_path | {nxt})
+
+        for start in sorted(graph):
+            dfs(start, [start], {start})
+        return cycles
+
+    def report(self) -> str:
+        """Human-readable inversion report (empty string when ordered)."""
+        lines: list[str] = []
+        for forward, backward in self.inversions():
+            lines.append(
+                f"lock-order inversion: {forward.first} -> {forward.second} "
+                f"(thread {forward.thread}) but also {backward.first} -> "
+                f"{backward.second} (thread {backward.thread})"
+            )
+        for cycle in self.cycles():
+            if len(cycle) > 3:  # pairwise inversions already printed above
+                lines.append("lock-order cycle: " + " -> ".join(cycle))
+        return "\n".join(lines)
+
+    def check(self) -> None:
+        """Raise :class:`LockOrderInversion` if any inversion was seen."""
+        report = self.report()
+        if report:
+            raise LockOrderInversion(report)
+
+
+@contextmanager
+def watched_locks(watcher: LockWatcher | None = None) -> Iterator[LockWatcher]:
+    """Patch ``threading.Lock``/``RLock`` with recording wrappers.
+
+    ``threading.Condition()`` with no argument picks up the patched
+    ``RLock`` too, so the gateway's condition variables are watched
+    without any test changes. Always restores the real factories.
+    """
+    active = watcher if watcher is not None else LockWatcher()
+
+    def _make(factory: Any) -> Any:
+        def create(*args: Any, **kwargs: Any) -> _WatchedLock:
+            return _WatchedLock(factory(*args, **kwargs), active, _creation_site())
+
+        return create
+
+    threading.Lock = _make(_ORIG_LOCK)  # type: ignore[assignment]
+    threading.RLock = _make(_ORIG_RLOCK)  # type: ignore[assignment]
+    try:
+        yield active
+    finally:
+        threading.Lock = _ORIG_LOCK
+        threading.RLock = _ORIG_RLOCK
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run pytest under the shim; fail on inversions.
+
+    ``argv`` is passed to pytest verbatim (default: the gateway suite,
+    quiet). The suite's own failure code wins over the inversion check
+    so CI shows the more actionable signal first.
+    """
+    import pytest  # local import: the analyzer package itself stays pytest-free
+
+    args = list(argv) if argv else ["tests/gateway", "-q"]
+    with watched_locks() as watcher:
+        code = int(pytest.main(args))
+    report = watcher.report()
+    if report:
+        print(report)
+    if code != 0:
+        return code
+    if report:
+        print("lockwatch: FAIL (lock-order inversion detected)")
+        return 1
+    pairs = len(watcher.edges())
+    print(f"lockwatch: ok ({pairs} ordered lock pair(s), no inversions)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main(sys.argv[1:]))

@@ -128,10 +128,13 @@ class GatewayApp:
         if path == "/status":
             return 200, self._status()
         if path == "/nodes":
-            entries = self.store.snapshot()
+            # One lock acquisition for both: a cursor read after a
+            # separate snapshot can be newer than the entries, and a
+            # client resuming /updates from it would skip the gap.
+            entries, cursor = self.store.snapshot_with_cursor()
             return 200, {
                 "count": len(entries),
-                "cursor": self.store.cursor,
+                "cursor": cursor,
                 "nodes": [entry.to_wire() for entry in entries],
             }
         if path.startswith("/nodes/"):

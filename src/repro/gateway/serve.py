@@ -190,7 +190,13 @@ class LiveGateway:
     def _drive_once(self, protocol_step_s: float) -> None:
         """Advance the mesh one burst; refresh the workload if drained."""
         with self.run_lock:
-            self.deployed.run_for(protocol_step_s)
+            # run_lock exists to serialize exactly this: the driver
+            # steps the protocol clock under it so HTTP readers never
+            # observe a half-stepped deployment, and each burst is
+            # poll_s-bounded. CONC002's blocking verdict is the call
+            # graph's name-keyed over-approximation (run_for resolves
+            # to every bare `run`), not this call site.
+            self.deployed.run_for(protocol_step_s)  # ldplint: disable=CONC002
             if self.deployed.now() >= self._workload_end_s:
                 if self._active_workload is not None:
                     self.readings_sent += len(self._active_workload.sent)
@@ -214,14 +220,21 @@ class LiveGateway:
         opts = self.options
         started = time.monotonic()
         next_federation = started + opts.federation_period_s
-        while not self._stop.is_set():
-            if duration_s is not None and time.monotonic() - started >= duration_s:
-                break
-            self._drive_once(opts.poll_s * opts.time_scale)
-            if self.peers and time.monotonic() >= next_federation:
-                self._federate_once()
-                next_federation = time.monotonic() + opts.federation_period_s
-            self._stop.wait(opts.poll_s)
+        try:
+            while not self._stop.is_set():
+                if duration_s is not None and time.monotonic() - started >= duration_s:
+                    break
+                self._drive_once(opts.poll_s * opts.time_scale)
+                if self.peers and time.monotonic() >= next_federation:
+                    self._federate_once()
+                    next_federation = time.monotonic() + opts.federation_period_s
+                self._stop.wait(opts.poll_s)
+        except BaseException:
+            # A driver crash must not leak the bound socket and its
+            # serving thread; a normal return leaves the server up so
+            # callers can keep querying until they stop() themselves.
+            self.stop()
+            raise
 
     def stop(self) -> None:
         """Stop the driver loop (if running) and the HTTP server."""

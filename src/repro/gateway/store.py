@@ -179,18 +179,20 @@ class GatewayStateStore:
         self._lock = threading.RLock()
         self._changed = threading.Condition(self._lock)
         #: node id -> current LWW winner.
-        self._latest: dict[int, StateEntry] = {}
+        self._latest: dict[int, StateEntry] = {}  # guarded-by: _lock
         #: node id -> recent applied entries, oldest first, bounded.
-        self._history: dict[int, deque[StateEntry]] = {}
+        self._history: dict[int, deque[StateEntry]] = {}  # guarded-by: _lock
         self._history_limit = history_limit
         #: origin gateway id -> highest seq applied from it.
-        self._vector: dict[str, int] = {}
+        self._vector: dict[str, int] = {}  # guarded-by: _lock
         #: This gateway's own monotone sequence counter.
-        self._seq = 0
+        self._seq = 0  # guarded-by: _lock
         #: Global apply counter — the merged view's version / resume cursor.
-        self._cursor = 0
+        self._cursor = 0  # guarded-by: _lock
         #: Recent ``(cursor, entry)`` pairs, the /updates replay window.
-        self._updates: deque[tuple[int, StateEntry]] = deque(maxlen=update_log_limit)
+        self._updates: deque[tuple[int, StateEntry]] = deque(  # guarded-by: _lock
+            maxlen=update_log_limit
+        )
 
     # -- ingest (the base station's delivery stream) ------------------------
 
@@ -240,7 +242,7 @@ class GatewayStateStore:
                     stale += 1
         return applied, stale
 
-    def _apply(self, entry: StateEntry) -> bool:
+    def _apply(self, entry: StateEntry) -> bool:  # guarded-by: _lock
         """Apply one entry under the lock; returns whether it was new."""
         if entry.seq <= self._vector.get(entry.origin, 0):
             self.registry.inc("gateway.store.stale")
@@ -293,6 +295,17 @@ class GatewayStateStore:
         """Every node's latest entry, sorted by node id."""
         with self._lock:
             return [self._latest[nid] for nid in sorted(self._latest)]
+
+    def snapshot_with_cursor(self) -> tuple[list[StateEntry], int]:
+        """Atomic ``(snapshot, cursor)`` pair under one lock acquisition.
+
+        ``/nodes`` pairs the full snapshot with a resume cursor for the
+        ``/updates`` stream; reading them in two separate lock
+        acquisitions can hand out a cursor newer than the snapshot and
+        silently skip the in-between updates on resume.
+        """
+        with self._lock:
+            return [self._latest[nid] for nid in sorted(self._latest)], self._cursor
 
     def digest(self) -> dict:
         """O(1) summary: identity, version vector, node count, cursor."""

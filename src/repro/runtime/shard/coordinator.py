@@ -144,9 +144,13 @@ def run_sharded_setup(
         finally:
             worker_module._FORK_PREBUILT = None
         conns: list[socket.socket | None] = [None] * shards
+        accepted: list[socket.socket] = []
         try:
             for _ in range(shards):
                 conn = _accept_worker(listener, procs)
+                # Track the socket before anything that can raise: a
+                # failed handshake must still close every accepted fd.
+                accepted.append(conn)
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 msg_type, payload = recv_message(conn)
                 if msg_type != MSG_HELLO:
@@ -159,9 +163,8 @@ def run_sharded_setup(
             for conn in ready:
                 send_message(conn, MSG_STOP)
         finally:
-            for conn in conns:
-                if conn is not None:
-                    conn.close()
+            for conn in accepted:
+                conn.close()
             for proc in procs:
                 proc.join(timeout=10.0)
                 if proc.is_alive():  # pragma: no cover - cleanup path

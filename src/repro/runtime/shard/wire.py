@@ -59,6 +59,12 @@ MSG_STOP = 6
 #: One cross-shard frame in transit: (emit_time, sender_id, payload).
 OutFrame = tuple[float, int, bytes]
 
+#: Upper bound on one framed message (type byte + payload). The
+#: interconnect moves event windows and JSON reports, never bulk data;
+#: a longer length prefix is a corrupt or hostile peer, and honoring it
+#: would let the peer choose our allocation size.
+MAX_MESSAGE_SIZE = 64 * 1024 * 1024
+
 _HEADER = struct.Struct(">IB")
 _HELLO = struct.Struct(">I")
 _RUN = struct.Struct(">d?")
@@ -84,8 +90,18 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
 
 
 def recv_message(sock: socket.socket) -> tuple[int, bytes]:
-    """Receive one framed message; raises ConnectionError on EOF."""
+    """Receive one framed message; raises ConnectionError on EOF.
+
+    Raises:
+        ValueError: length prefix outside ``[1, MAX_MESSAGE_SIZE]`` —
+            the wire-supplied length is untrusted and bounds the next
+            allocation, so it is validated before any read.
+    """
     length, msg_type = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if not 1 <= length <= MAX_MESSAGE_SIZE:
+        raise ValueError(
+            f"shard message length {length} outside [1, {MAX_MESSAGE_SIZE}]"
+        )
     return msg_type, _recv_exact(sock, length - 1)
 
 
@@ -103,6 +119,11 @@ def unpack_frames(data: bytes, offset: int = 0) -> list[OutFrame]:
     """Parse :func:`pack_frames` output."""
     (count,) = _COUNT.unpack_from(data, offset)
     offset += _COUNT.size
+    # Every frame costs at least a header, so a count the remaining
+    # payload cannot hold is malformed — checked up front rather than
+    # letting a hostile count drive the loop into struct errors.
+    if count * _FRAME.size > len(data) - offset:
+        raise ValueError(f"frame count {count} exceeds payload size {len(data)}")
     frames: list[OutFrame] = []
     for _ in range(count):
         emit_time, size = _FRAME.unpack_from(data, offset)

@@ -1,0 +1,29 @@
+"""CONC001 true negatives: every guarded access holds the declared lock.
+
+Includes the Condition-over-lock alias: holding ``self._updated`` (built
+on ``self._lock``) counts as holding ``_lock``.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._updated = threading.Condition(self._lock)
+        self._count = 0  # guarded-by: _lock
+
+    def _bump_locked(self):  # guarded-by: _lock
+        self._count += 1
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def peek(self):
+        with self._lock:
+            return self._count
+
+    def wait_for_change(self):
+        with self._updated:
+            return self._count

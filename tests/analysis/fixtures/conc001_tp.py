@@ -1,0 +1,22 @@
+"""CONC001 true positives: guarded state touched without the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def _bump_locked(self):  # guarded-by: _lock
+        self._count += 1
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def peek(self):
+        return self._count  # EXPECT: CONC001
+
+    def careless_bump(self):
+        self._bump_locked()  # EXPECT: CONC001

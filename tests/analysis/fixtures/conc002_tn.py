@@ -1,0 +1,20 @@
+"""CONC002 true negatives: blocking work kept outside the lock."""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._last = b""
+
+    def poll(self, sock):
+        data = sock.recv(1024)
+        with self._lock:
+            self._last = data
+
+    def backoff(self):
+        time.sleep(0.1)
+        with self._lock:
+            self._last = b""

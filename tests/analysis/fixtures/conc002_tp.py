@@ -1,0 +1,18 @@
+"""CONC002 true positives: blocking calls inside a critical section."""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._last = b""
+
+    def poll(self, sock):
+        with self._lock:
+            self._last = sock.recv(1024)  # EXPECT: CONC002
+
+    def backoff(self):
+        with self._lock:
+            time.sleep(0.1)  # EXPECT: CONC002

@@ -1,0 +1,22 @@
+"""CONC003 true negatives: lifecycle decided at construction or owned."""
+
+import threading
+
+
+def spawn_daemon(worker):
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    return thread
+
+
+def spawn_owned(worker):
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+
+
+def spawn_flagged_later(worker):
+    thread = threading.Thread(target=worker)
+    thread.daemon = True
+    thread.start()
+    return thread

@@ -1,0 +1,8 @@
+"""CONC003 true positive: a thread with no daemon flag and no join."""
+
+import threading
+
+
+def spawn(worker):
+    thread = threading.Thread(target=worker)  # EXPECT: CONC003
+    thread.start()

@@ -1,0 +1,35 @@
+"""RES001 true negatives: context manager, finally release, ownership transfer."""
+
+import socket
+from multiprocessing import Process
+
+
+def probe(host):
+    sock = socket.create_connection((host, 9000))
+    try:
+        sock.sendall(b"ping")
+        reply = sock.recv(2)
+    finally:
+        sock.close()
+    return reply
+
+
+def probe_with(host):
+    with socket.create_connection((host, 9000)) as sock:
+        return sock.recv(2)
+
+
+def spawn_workers(n, worker, registry):
+    procs = [Process(target=worker) for _ in range(n)]
+    try:
+        for proc in procs:
+            proc.start()
+    finally:
+        for proc in procs:
+            proc.terminate()
+
+
+def open_worker(worker, registry):
+    proc = Process(target=worker)
+    registry.append(proc)
+    return proc

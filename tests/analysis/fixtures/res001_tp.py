@@ -1,0 +1,18 @@
+"""RES001 true positives: resources that leak on exception paths."""
+
+import socket
+from multiprocessing import Process
+
+
+def probe(host):
+    sock = socket.create_connection((host, 9000))  # EXPECT: RES001
+    sock.sendall(b"ping")
+    reply = sock.recv(2)
+    sock.close()
+    return reply
+
+
+def spawn_workers(n, worker):
+    procs = [Process(target=worker) for _ in range(n)]  # EXPECT: RES001
+    for proc in procs:
+        proc.start()

@@ -1,0 +1,21 @@
+"""WIRE001 true negatives: wire bytes routed through the decoder layer.
+
+``decode_header`` may parse raw bytes (WIRE002 audits its bounds
+discipline instead), and its return launders the taint for callers.
+"""
+
+import struct
+
+MAX_FRAME = 4096
+
+
+def decode_header(data):
+    kind, length = struct.unpack(">BI", data[:5])
+    if length > MAX_FRAME:
+        raise ValueError("oversized frame")
+    return kind, length
+
+
+def handle(sock):
+    data = sock.recv(4096)
+    return decode_header(data)

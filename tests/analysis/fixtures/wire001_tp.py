@@ -1,0 +1,10 @@
+"""WIRE001 true positives: raw wire bytes parsed outside the decoder layer."""
+
+import struct
+
+
+def handle(sock):
+    data = sock.recv(4096)
+    kind = data[0]  # EXPECT: WIRE001
+    fields = struct.unpack(">HH", data)  # EXPECT: WIRE001
+    return kind, fields

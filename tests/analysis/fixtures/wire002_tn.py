@@ -1,0 +1,17 @@
+"""WIRE002 true negatives: length prefixes compared or clamped before use."""
+
+MAX_FRAME = 4096
+
+
+def read_frame(sock):
+    header = sock.recv(4)
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME:
+        raise ValueError("oversized frame")
+    return sock.recv(length)
+
+
+def read_clamped(sock):
+    header = sock.recv(4)
+    length = int.from_bytes(header, "big")
+    return sock.recv(min(length, MAX_FRAME))

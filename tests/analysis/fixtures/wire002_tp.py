@@ -1,0 +1,12 @@
+"""WIRE002 true positives: wire-decoded integers used without bounds checks."""
+
+
+def read_frame(sock):
+    header = sock.recv(4)
+    length = int.from_bytes(header, "big")
+    return sock.recv(length)  # EXPECT: WIRE002
+
+
+def read_batch(sock, payload):
+    count = int.from_bytes(payload, "big")
+    return [sock.recv(64) for _ in range(count)]  # EXPECT: WIRE002

@@ -1,6 +1,7 @@
 """CLI tests: exit codes, formats, `repro lint` wiring, module entry."""
 
 import json
+import os
 import subprocess
 import sys
 
@@ -63,8 +64,69 @@ def test_unparseable_file_is_error(tmp_path, capsys):
 def test_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("KEY001", "KEY002", "CRYPT001", "CRYPT002", "RNG001", "SIM001"):
+    for rule_id in (
+        "KEY001",
+        "KEY002",
+        "CRYPT001",
+        "CRYPT002",
+        "RNG001",
+        "SIM001",
+        "CONC001",
+        "CONC002",
+        "CONC003",
+        "WIRE001",
+        "WIRE002",
+        "RES001",
+    ):
         assert rule_id in out
+
+
+def test_relaxed_profile_silences_key001(leaky_file):
+    assert lint_main([str(leaky_file), "--profile", "relaxed"]) == 0
+    assert lint_main([str(leaky_file), "--profile", "strict"]) == 1
+
+
+def test_unknown_profile_is_usage_error(leaky_file, capsys):
+    assert lint_main([str(leaky_file), "--profile", "nope"]) == 2
+    assert "unknown profile" in capsys.readouterr().err
+
+
+def _git(tmp_path, *args):
+    subprocess.run(
+        ["git", *args],
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(tmp_path),
+            "PATH": os.environ["PATH"],
+        },
+    )
+
+
+def test_changed_lints_only_touched_files(tmp_path, capsys):
+    _git(tmp_path, "init", "-q")
+    committed = tmp_path / "committed_leak.py"
+    committed.write_text(LEAKY, encoding="utf-8")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    # Nothing changed since HEAD: the committed leak is out of scope.
+    assert lint_main(["--root", str(tmp_path), "--changed"]) == 0
+    capsys.readouterr()
+    # An untracked leaky file is in scope and fails the run.
+    (tmp_path / "fresh_leak.py").write_text(LEAKY, encoding="utf-8")
+    assert lint_main(["--root", str(tmp_path), "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "fresh_leak.py" in out and "committed_leak.py" not in out
+
+
+def test_changed_outside_git_is_usage_error(tmp_path, capsys):
+    assert lint_main(["--root", str(tmp_path), "--changed"]) == 2
+    assert "failed" in capsys.readouterr().err
 
 
 def test_repro_lint_subcommand(leaky_file, capsys):

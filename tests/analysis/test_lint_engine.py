@@ -54,7 +54,7 @@ def test_scope_override_via_config():
     assert lint_source(LEAKY, "leak.py", config=config) == []
 
 
-def test_registry_has_the_six_shipped_rules():
+def test_registry_has_the_twelve_shipped_rules():
     assert set(all_rules()) == {
         "KEY001",
         "KEY002",
@@ -62,7 +62,56 @@ def test_registry_has_the_six_shipped_rules():
         "CRYPT002",
         "RNG001",
         "SIM001",
+        "CONC001",
+        "CONC002",
+        "CONC003",
+        "WIRE001",
+        "WIRE002",
+        "RES001",
     }
+
+
+def test_cross_module_wire_taint(tmp_path):
+    """A receive wrapper in one file taints its callers in another.
+
+    The project fixpoint marks ``fetch_payload`` as a wire source, so
+    indexing its result two files away is a WIRE001 finding — the
+    interprocedural upgrade over per-file analysis.
+    """
+    (tmp_path / "transportlib.py").write_text(
+        "def fetch_payload(sock):\n    return sock.recv(4096)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "handler.py").write_text(
+        "from transportlib import fetch_payload\n"
+        "def handle(sock):\n"
+        "    data = fetch_payload(sock)\n"
+        "    return data[0]\n",
+        encoding="utf-8",
+    )
+    findings = lint_paths([str(tmp_path)], LintConfig(root=tmp_path))
+    assert [(f.rule, f.path, f.line) for f in findings] == [("WIRE001", "handler.py", 4)]
+
+
+def test_cross_module_blocking_closure(tmp_path):
+    """A helper that transitively blocks is flagged under a lock elsewhere."""
+    (tmp_path / "io_helpers.py").write_text(
+        "def pull(sock):\n    return sock.recv(64)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "driver.py").write_text(
+        "import threading\n"
+        "from io_helpers import pull\n"
+        "class Driver:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def step(self, sock):\n"
+        "        with self._lock:\n"
+        "            return pull(sock)\n",
+        encoding="utf-8",
+    )
+    findings = lint_paths([str(tmp_path)], LintConfig(root=tmp_path))
+    assert [(f.rule, f.path, f.line) for f in findings] == [("CONC002", "driver.py", 8)]
 
 
 def test_load_config_reads_ldplint_table(tmp_path):

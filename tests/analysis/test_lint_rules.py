@@ -48,7 +48,20 @@ def test_fixture_findings_match_expectations(fixture):
 
 def test_true_positive_and_negative_fixtures_exist_per_rule():
     """The acceptance criterion: >=1 TP and >=1 TN fixture per rule."""
-    for rule in ("key001", "key002", "crypt001", "crypt002", "rng001", "sim001"):
+    for rule in (
+        "key001",
+        "key002",
+        "crypt001",
+        "crypt002",
+        "rng001",
+        "sim001",
+        "conc001",
+        "conc002",
+        "conc003",
+        "wire001",
+        "wire002",
+        "res001",
+    ):
         tp = (FIXTURES / f"{rule}_tp.py").read_text(encoding="utf-8")
         assert expected_set(tp), f"{rule}_tp.py must expect at least one finding"
         tn = (FIXTURES / f"{rule}_tn.py").read_text(encoding="utf-8")

@@ -1,0 +1,79 @@
+"""lockwatch tests: the shim records orders and flags inversions."""
+
+import threading
+
+import pytest
+
+from repro.analysis.lockwatch import LockOrderInversion, LockWatcher, watched_locks
+
+
+def _run_in_thread(fn):
+    thread = threading.Thread(target=fn)
+    thread.start()
+    thread.join()
+
+
+def test_consistent_order_is_clean():
+    with watched_locks() as watcher:
+        a = threading.Lock()
+        b = threading.Lock()
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+    assert watcher.inversions() == []
+    assert watcher.report() == ""
+    watcher.check()  # must not raise
+
+
+def test_inversion_across_threads_is_detected():
+    with watched_locks() as watcher:
+        a = threading.Lock()
+        b = threading.Lock()
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        _run_in_thread(forward)
+        _run_in_thread(backward)
+    assert len(watcher.inversions()) == 1
+    assert "lock-order inversion" in watcher.report()
+    with pytest.raises(LockOrderInversion):
+        watcher.check()
+
+
+def test_reentrant_rlock_records_no_self_edge():
+    with watched_locks() as watcher:
+        lock = threading.RLock()
+        with lock:
+            with lock:
+                pass
+    assert watcher.edges() == {}
+    watcher.check()
+
+
+def test_condition_over_lock_is_watched():
+    """``Condition()`` with no argument picks up the patched RLock."""
+    with watched_locks() as watcher:
+        outer = threading.Lock()
+        cond = threading.Condition()
+        with outer:
+            with cond:
+                pass
+    assert len(watcher.edges()) == 1
+    assert watcher.inversions() == []
+
+
+def test_factories_restored_after_exit():
+    original = threading.Lock
+    with watched_locks(LockWatcher()):
+        assert threading.Lock is not original
+        assert type(threading.Lock()).__name__ == "_WatchedLock"
+    assert threading.Lock is original
