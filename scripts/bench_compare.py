@@ -13,13 +13,15 @@ Usage::
 
     python scripts/bench_compare.py BASELINE.json FRESH.json --tolerance 0.5
 
-Three payload kinds are understood: crypto payloads
+Four payload kinds are understood: crypto payloads
 (``benchmark: crypto_kernels``; rows keyed by (cipher, blocks), every
 ``*_per_s`` field compared), runtime payloads
 (``benchmark: runtime_setup_throughput``; rows keyed by (transport, n),
-``events_per_s`` compared), and forwarding payloads
+``events_per_s`` compared), forwarding payloads
 (``benchmark: forwarding_soak``; codec rows keyed by (cipher, batch),
-soak rows by (n, loss), ``*_per_s`` fields compared).
+soak rows by (n, loss), ``*_per_s`` fields compared), and lifecycle
+payloads (``benchmark: churn``; rows keyed by (mobility, loss),
+``*_per_s`` fields compared).
 
 A row or rate field present in only one payload is a *mismatch*: it
 means a bench was renamed, added or dropped without updating the
@@ -60,6 +62,9 @@ def _rows(payload: dict) -> dict[tuple, dict]:
             indexed[("codec", row["cipher"], row["batch"])] = row
         for row in payload.get("soak", ()):
             indexed[("soak", row["n"], row["loss"])] = row
+    elif kind == "churn":
+        for row in payload.get("rows", ()):
+            indexed[("churn", row["mobility"], row["loss"])] = row
     else:
         raise ValueError(f"unrecognized benchmark payload: {kind!r}")
     return indexed

@@ -12,9 +12,13 @@ against (docs/BENCHMARKS.md is the handbook for all of them):
   single-process backends and the region-sharded multi-process runtime
   at paper scale (``BENCH_runtime.json``);
   ``benchmarks/test_runtime_throughput.py`` is a thin pytest wrapper
-  over the same rows.
+  over the same rows;
+* :mod:`repro.bench.churn` — lifecycle scenarios under continuous
+  mobility and sustained churn, one row per (mobility model, loss)
+  cell (``BENCH_churn.json``).
 """
 
+from repro.bench.churn import bench_churn, render_bench_churn, write_bench_churn
 from repro.bench.crypto import bench_crypto, render_bench_crypto, write_bench_crypto
 from repro.bench.forwarding import (
     bench_forwarding,
@@ -24,12 +28,15 @@ from repro.bench.forwarding import (
 from repro.bench.runtime import bench_runtime, render_bench_runtime, write_bench_runtime
 
 __all__ = [
+    "bench_churn",
     "bench_crypto",
     "bench_forwarding",
     "bench_runtime",
+    "render_bench_churn",
     "render_bench_crypto",
     "render_bench_forwarding",
     "render_bench_runtime",
+    "write_bench_churn",
     "write_bench_crypto",
     "write_bench_forwarding",
     "write_bench_runtime",

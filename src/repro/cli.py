@@ -25,6 +25,12 @@ Commands:
   (drop/duplicate/reorder/corrupt rates, crashes, partitions) and report
   the delivery ratio; ``--assert-delivery X`` exits nonzero below the
   bar, which is how the chaos-smoke CI job gates the reliability layer;
+* ``churn`` — run a seeded lifecycle scenario: continuous node mobility
+  plus sustained join/leave/revoke/refresh churn under injected faults,
+  reporting delivery and re-clustering convergence;
+  ``--assert-convergence`` exits nonzero when any documented bound is
+  violated, which is how the churn-smoke CI job gates the lifecycle
+  runtime (see docs/RUNTIME.md);
 * ``metrics`` — work with exported telemetry streams
   (``metrics summarize m.jsonl`` folds one back into the shape
   ``SetupMetrics`` reports, see docs/TELEMETRY.md);
@@ -482,6 +488,131 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import TRANSPORTS
+    from repro.runtime.lifecycle import ChurnScenario, run_churn
+
+    if args.transport not in TRANSPORTS:
+        print(f"unknown transport {args.transport!r}: choose one of {', '.join(TRANSPORTS)}")
+        return 2
+    try:
+        scenario = ChurnScenario(
+            seed=args.seed,
+            n=args.n,
+            density=args.density,
+            transport=args.transport,
+            mobility=args.mobility,
+            speed_min=args.speed_min,
+            speed_max=args.speed_max,
+            groups=args.groups,
+            drop=args.drop,
+            duplicate=args.duplicate,
+            reorder=args.reorder,
+            duration_s=args.duration,
+            joins=args.joins,
+            leaves=args.leaves,
+            revokes=args.revokes,
+            refresh_period_s=args.refresh_period,
+            refresh=not args.no_refresh,
+            refresh_strategy=args.refresh_strategy,
+            reliability=not args.no_reliability,
+            report_period_s=args.period,
+            window_s=args.window,
+            settle_s=args.settle,
+            min_delivery=args.min_delivery,
+            max_reconverge_s=args.max_reconverge,
+            max_orphan_dwell_s=args.max_orphan_dwell,
+        )
+        scenario.fault_plan()  # validate the fault rates up front
+    except ValueError as exc:
+        print(f"invalid scenario: {exc}")
+        return 2
+
+    result = run_churn(scenario)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "seed": scenario.seed,
+                    "n": scenario.n,
+                    "transport": scenario.transport,
+                    "mobility": scenario.mobility,
+                    "drop": scenario.drop,
+                    "churn_events": scenario.churn_events,
+                    "churn_fraction": round(scenario.churn_fraction, 4),
+                    "reliability": scenario.reliability,
+                    "refresh": scenario.refresh,
+                    "converged": result.converged,
+                    "reasons": list(result.reasons),
+                    "delivery_ratio": round(result.delivery_ratio, 6),
+                    "min_window_delivery": round(result.min_window_delivery, 6),
+                    "sent": result.sent,
+                    "delivered": result.delivered,
+                    "send_failures": result.send_failures,
+                    "joins_completed": result.joins_completed,
+                    "joins_failed": result.joins_failed,
+                    "leaves": result.leaves,
+                    "nodes_revoked": result.nodes_revoked,
+                    "clusters_revoked": result.clusters_revoked,
+                    "refresh_rounds": result.refresh_rounds,
+                    "mobility_steps": result.mobility_steps,
+                    "links_added": result.links_added,
+                    "links_removed": result.links_removed,
+                    "max_reconverge_s": round(result.max_reconverge_s, 3),
+                    "max_orphan_dwell_s": round(result.max_orphan_dwell_s, 3),
+                    "final_orphans": result.final_orphans,
+                    "store_nodes": result.store_nodes,
+                    "store_evicted": result.store_evicted,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"churn seed={scenario.seed} n={scenario.n} {scenario.transport} "
+            f"mobility={scenario.mobility} drop={scenario.drop:.0%} "
+            f"churn={scenario.churn_events} events "
+            f"({scenario.churn_fraction:.0%} of nodes) "
+            f"reliability={'on' if scenario.reliability else 'off'} "
+            f"refresh={'on' if scenario.refresh else 'off'}"
+        )
+        print(
+            f"  delivery: {result.delivery_ratio:.2%} overall, "
+            f"{result.min_window_delivery:.2%} worst window "
+            f"({result.sent} sent, {result.delivered} delivered)"
+        )
+        print(
+            f"  churn: +{result.joins_completed} joined "
+            f"({result.joins_failed} failed), -{result.leaves} left, "
+            f"-{result.nodes_revoked} revoked "
+            f"({result.clusters_revoked} clusters), "
+            f"{result.refresh_rounds} refresh rounds"
+        )
+        print(
+            f"  mobility: {result.mobility_steps} steps, "
+            f"+{result.links_added}/-{result.links_removed} links"
+        )
+        print(
+            f"  convergence: re-cluster {result.max_reconverge_s:.1f}s, "
+            f"worst orphan dwell {result.max_orphan_dwell_s:.1f}s, "
+            f"{result.final_orphans} orphans at end"
+        )
+        print(
+            f"  gateway store: {result.store_nodes} nodes, "
+            f"{result.store_evicted} evicted"
+        )
+        print("  converged:", "yes" if result.converged else "NO")
+        for reason in result.reasons:
+            print(f"    - {reason}")
+    if args.assert_convergence and not result.converged:
+        print("FAIL: scenario did not converge within its documented bounds")
+        return 1
+    return 0
+
+
 def _cmd_bench_crypto(args: argparse.Namespace) -> int:
     from repro.bench import render_bench_crypto, write_bench_crypto
 
@@ -512,6 +643,17 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
         args.out, quick=args.quick, seed=args.seed, shards=args.shards
     )
     print(render_bench_runtime(payload))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+def _cmd_bench_churn(args: argparse.Namespace) -> int:
+    from repro.bench import render_bench_churn, write_bench_churn
+
+    payload = write_bench_churn(
+        args.out, quick=args.quick, n=args.n, density=args.density, seed=args.seed
+    )
+    print(render_bench_churn(payload))
     print(f"\nwrote {args.out}")
     return 0
 
@@ -794,6 +936,104 @@ def build_parser() -> argparse.ArgumentParser:
     # --n default: chaos runs every sensor as a reporting source.
     chaos.set_defaults(func=_cmd_chaos, n=60)
 
+    churn = sub.add_parser(
+        "churn",
+        help="run a seeded mobility + churn lifecycle scenario on a live deployment",
+    )
+    _add_common(churn)
+    churn.add_argument(
+        "--transport",
+        default="loopback",
+        help="transport backend (loopback, udp, sim; default: loopback)",
+    )
+    churn.add_argument(
+        "--mobility",
+        default="waypoint",
+        help="mobility model: waypoint or group (default: waypoint)",
+    )
+    churn.add_argument(
+        "--speed-min", type=float, default=0.2, help="minimum node speed (units/s)"
+    )
+    churn.add_argument(
+        "--speed-max", type=float, default=1.0, help="maximum node speed (units/s)"
+    )
+    churn.add_argument(
+        "--groups", type=int, default=4, help="group count for the group model"
+    )
+    churn.add_argument(
+        "--drop", type=float, default=0.10, help="per-delivery drop probability"
+    )
+    churn.add_argument(
+        "--duplicate", type=float, default=0.03, help="per-delivery duplication probability"
+    )
+    churn.add_argument(
+        "--reorder", type=float, default=0.03, help="per-delivery reordering probability"
+    )
+    churn.add_argument(
+        "--duration", type=float, default=120.0, help="scenario horizon (seconds)"
+    )
+    churn.add_argument("--joins", type=int, default=2, help="nodes joining mid-run")
+    churn.add_argument("--leaves", type=int, default=2, help="nodes leaving mid-run")
+    churn.add_argument(
+        "--revokes", type=int, default=1, help="cluster revocations mid-run"
+    )
+    churn.add_argument(
+        "--refresh-period",
+        type=float,
+        default=40.0,
+        help="seconds between key-refresh rounds (0 disables)",
+    )
+    churn.add_argument(
+        "--refresh-strategy",
+        default="rehash",
+        help="refresh strategy: rehash, recluster or reelect (default: rehash)",
+    )
+    churn.add_argument(
+        "--no-refresh",
+        action="store_true",
+        help="disable periodic key refresh entirely",
+    )
+    churn.add_argument(
+        "--no-reliability",
+        action="store_true",
+        help="disable hop-by-hop ACKs/retransmits and setup re-announcement",
+    )
+    churn.add_argument(
+        "--period", type=float, default=5.0, help="reporting period (seconds)"
+    )
+    churn.add_argument(
+        "--window", type=float, default=15.0, help="sliding delivery window (seconds)"
+    )
+    churn.add_argument(
+        "--settle", type=float, default=15.0, help="settle time after the horizon"
+    )
+    churn.add_argument(
+        "--min-delivery",
+        type=float,
+        default=0.90,
+        help="convergence bound: minimum overall delivery ratio",
+    )
+    churn.add_argument(
+        "--max-reconverge",
+        type=float,
+        default=30.0,
+        help="convergence bound: worst re-clustering time (seconds)",
+    )
+    churn.add_argument(
+        "--max-orphan-dwell",
+        type=float,
+        default=20.0,
+        help="convergence bound: worst orphaned-node dwell time (seconds)",
+    )
+    churn.add_argument(
+        "--assert-convergence",
+        action="store_true",
+        help="exit nonzero unless every convergence bound holds (CI gate)",
+    )
+    churn.add_argument("--json", action="store_true", help="machine-readable output")
+    # --n default: churn scenarios run on a mid-size mobile field.
+    churn.set_defaults(func=_cmd_churn, n=40)
+
     bench = sub.add_parser("bench", help="performance benchmarks")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     bench_crypto = bench_sub.add_parser(
@@ -859,6 +1099,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_runtime.add_argument("--seed", type=int, default=0, help="deployment seed")
     bench_runtime.set_defaults(func=_cmd_bench_runtime)
+    bench_churn = bench_sub.add_parser(
+        "churn",
+        help="lifecycle scenarios under mobility + churn; write BENCH_churn.json",
+    )
+    bench_churn.add_argument(
+        "--out",
+        default="BENCH_churn.json",
+        metavar="PATH",
+        help="where to write the JSON payload (default: BENCH_churn.json)",
+    )
+    bench_churn.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorten the scenario horizon — for CI smoke runs",
+    )
+    bench_churn.add_argument("--n", type=int, default=40, help="number of sensors")
+    bench_churn.add_argument(
+        "--density", type=float, default=10.0, help="mean neighbors/node"
+    )
+    bench_churn.add_argument("--seed", type=int, default=0, help="deployment seed")
+    bench_churn.set_defaults(func=_cmd_bench_churn)
 
     lint = sub.add_parser(
         "lint", help="ldplint: static analysis of the paper's security invariants"

@@ -127,6 +127,12 @@ def handle_pull(store: GatewayStateStore, key: bytes, body: dict) -> dict:
         "gateway": store.gateway_id,
         "vector": store.vector_snapshot(),
         "entries": [entry.to_wire() for entry in entries],
+        # Eviction tombstones ride along so a node revoked behind one
+        # gateway disappears from every peer's query plane too (merged
+        # by max-time; see GatewayStateStore.apply_evictions).
+        "evictions": {
+            str(node): time for node, time in store.evictions_snapshot().items()
+        },
     }
     return {"payload": response, "mac": sign_payload(key, response)}
 
@@ -163,6 +169,17 @@ def apply_pull_body(store: GatewayStateStore, key: bytes, body: dict) -> tuple[i
         entries = [StateEntry.from_wire(w) for w in wire_entries]
     except ValueError as exc:
         raise FederationError(str(exc)) from exc
+    wire_evictions = payload.get("evictions", {})
+    if not isinstance(wire_evictions, dict):
+        raise FederationError("pull response evictions must be an object")
+    try:
+        tombstones = {int(node): float(t) for node, t in wire_evictions.items()}
+    except (TypeError, ValueError) as exc:
+        raise FederationError(f"bad eviction tombstones: {exc}") from exc
+    # Tombstones first: a just-evicted node's stale winner in the same
+    # delta must not resurrect it for one pull round.
+    if tombstones:
+        store.apply_evictions(tombstones)
     applied, stale = store.merge(entries)
     store.registry.inc("gateway.federation.entries_applied", applied)
     store.registry.inc("gateway.federation.entries_stale", stale)

@@ -193,6 +193,10 @@ class GatewayStateStore:
         self._updates: deque[tuple[int, StateEntry]] = deque(  # guarded-by: _lock
             maxlen=update_log_limit
         )
+        #: node id -> eviction tombstone time: revoked/departed nodes.
+        #: Entries at or before the tombstone are suppressed (vector still
+        #: advances); a strictly newer reading reinstates the node.
+        self._evicted: dict[int, float] = {}  # guarded-by: _lock
 
     # -- ingest (the base station's delivery stream) ------------------------
 
@@ -247,6 +251,16 @@ class GatewayStateStore:
         if entry.seq <= self._vector.get(entry.origin, 0):
             self.registry.inc("gateway.store.stale")
             return False
+        tombstone = self._evicted.get(entry.node)
+        if tombstone is not None:
+            if entry.time <= tombstone:
+                # Evicted node, pre-eviction reading: advance the vector
+                # (so peers stop offering it) but serve no state from it.
+                self._vector[entry.origin] = entry.seq
+                self.registry.inc("gateway.store.suppressed")
+                return False
+            # Strictly newer reading: the node re-joined; reinstate it.
+            del self._evicted[entry.node]
         self._vector[entry.origin] = entry.seq
         history = self._history.get(entry.node)
         if history is None:
@@ -262,6 +276,72 @@ class GatewayStateStore:
         self.registry.gauge("gateway.store.cursor", self._cursor)
         self._changed.notify_all()
         return True
+
+    # -- eviction (lifecycle: revoked and departed nodes) --------------------
+
+    def evict(self, node_id: int, time: float | None = None) -> bool:
+        """Drop ``node_id``'s state and tombstone it; returns whether state fell.
+
+        Called by the lifecycle runtime when a node is revoked or
+        permanently departs: long churn runs must not keep serving a
+        gone node's last reading, nor grow per-node state without bound.
+        The tombstone time defaults to the node's latest applied reading
+        (so every known reading is covered); readings *strictly newer*
+        than it — a re-join — reinstate the node automatically. Version
+        vectors are untouched, so federation convergence is unaffected.
+
+        Idempotent: re-evicting with an older-or-equal time is a no-op.
+        """
+        with self._lock:
+            current = self._latest.get(node_id)
+            if time is None:
+                time = current.time if current is not None else 0.0
+            previous = self._evicted.get(node_id)
+            if previous is not None and time <= previous:
+                return False
+            self._evicted[node_id] = float(time)
+            removed = self._drop_node_state(node_id)
+            self.registry.inc("gateway.store.evicted")
+            return removed
+
+    def apply_evictions(self, tombstones: dict[int, float]) -> int:
+        """Merge a peer's eviction tombstones; returns how many advanced.
+
+        Tombstones merge by max-time — commutative, associative,
+        idempotent, like the entry merge — so eviction propagates
+        through the same pull exchange as state
+        (:mod:`repro.gateway.federation`).
+        """
+        advanced = 0
+        with self._lock:
+            for node_id, time in tombstones.items():
+                previous = self._evicted.get(node_id)
+                if previous is not None and time <= previous:
+                    continue
+                current = self._latest.get(node_id)
+                if current is not None and current.time > time:
+                    # Local state already outruns the tombstone: the node
+                    # re-joined from this store's perspective.
+                    continue
+                self._evicted[node_id] = float(time)
+                if self._drop_node_state(node_id):
+                    self.registry.inc("gateway.store.evicted")
+                advanced += 1
+        return advanced
+
+    def evictions_snapshot(self) -> dict[int, float]:
+        """Copy of the eviction tombstones (node id -> tombstone time)."""
+        with self._lock:
+            return dict(self._evicted)
+
+    def _drop_node_state(self, node_id: int) -> bool:  # guarded-by: _lock
+        """Remove served state for ``node_id``; returns whether any existed."""
+        removed = self._latest.pop(node_id, None) is not None
+        self._history.pop(node_id, None)
+        if removed:
+            self.registry.gauge("gateway.store.nodes", len(self._latest))
+            self._changed.notify_all()
+        return removed
 
     # -- queries (the HTTP API reads exactly these) -------------------------
 
@@ -316,6 +396,7 @@ class GatewayStateStore:
                 "vector": dict(self._vector),
                 "nodes": len(self._latest),
                 "cursor": self._cursor,
+                "evicted": len(self._evicted),
             }
 
     def entries_since(self, vector: dict[str, int]) -> list[StateEntry]:

@@ -333,6 +333,29 @@ class ProtocolAgent:
         # the invariant inner blob, not the hop wrapper.
         self._transmit_hop(entry.c1)
 
+    def on_offline(self) -> None:
+        """Crash hook: flush the retransmit queue and renounce custody.
+
+        Called by :meth:`repro.runtime.node.NodeRuntime.offline` (and
+        ``die``). A crashed mote loses its volatile queues: every pending
+        custody-ACK timer is cancelled so it cannot fire into a restarted
+        — possibly key-refreshed — epoch, and custody is renounced so a
+        later upstream retransmit is never re-ACKed by a node that lost
+        the message. Keys and protocol state survive (a reboot, not a
+        reprovision).
+        """
+        if not self._retx and not self._custody:
+            return
+        flushed = 0
+        for entry in self._retx.values():
+            if entry.timer is not None:
+                entry.timer.cancel()
+                flushed += 1
+        self._retx.clear()
+        self._custody.clear()
+        if flushed:
+            self._trace.count("net.retx.flushed", flushed)
+
     def _take_custody(self, c1: bytes) -> None:
         """Record that this node owns forwarding ``c1`` (bounded set)."""
         fp = DedupCache.fingerprint(c1)

@@ -21,12 +21,25 @@ simulator entities. The pieces:
   :class:`~repro.runtime.faults.FaultInjectingTransport` — seeded,
   declarative fault injection (loss, duplication, reordering, delay,
   corruption, crashes, partitions) over any backend, driven by the
-  ``repro chaos`` CLI (:mod:`repro.runtime.chaos`).
+  ``repro chaos`` CLI (:mod:`repro.runtime.chaos`);
+* :mod:`repro.runtime.lifecycle` — the lifecycle runtime: seeded node
+  mobility (:mod:`repro.sim.mobility`) stepped against the live
+  topology, sustained join/leave/revoke/refresh churn, and bounded
+  re-clustering convergence tracking, driven by the ``repro churn``
+  CLI.
 
 Entry point: ``python -m repro run-live --n 50 --transport loopback``.
 """
 
 from repro.runtime.chaos import ChaosResult, ChaosScenario, run_chaos
+from repro.runtime.lifecycle import (
+    ChurnDriver,
+    ChurnResult,
+    ChurnScenario,
+    ConvergenceTracker,
+    MobilityDriver,
+    run_churn,
+)
 from repro.runtime.cluster import TRANSPORTS, LiveNetwork, build_transport, deploy_live
 from repro.runtime.faults import (
     CrashEvent,
@@ -60,4 +73,10 @@ __all__ = [
     "ChaosScenario",
     "ChaosResult",
     "run_chaos",
+    "MobilityDriver",
+    "ChurnDriver",
+    "ConvergenceTracker",
+    "ChurnScenario",
+    "ChurnResult",
+    "run_churn",
 ]

@@ -52,9 +52,9 @@ class LiveNetwork:
         for nid in sorted(network.nodes):
             self.nodes[nid] = NodeRuntime(transport, nid, network.nodes[nid].position)
         self.bs = self.nodes[BS_ID]
-        # Membership is fixed at construction, so the sorted sensor-id
-        # list (hot via alive_sensor_ids) is computed exactly once.
-        self._sensor_ids = [nid for nid in self.nodes if nid != BS_ID]
+        # Sorted sensor-id list (hot via alive_sensor_ids), cached and
+        # invalidated by add_node — live membership can now grow mid-run.
+        self._sensor_ids: list[int] | None = [nid for nid in self.nodes if nid != BS_ID]
 
     # -- the network surface the protocol layer programs against ------------
 
@@ -79,14 +79,55 @@ class LiveNetwork:
     def sensor_ids(self) -> list[int]:
         """Ids of ordinary sensors (excludes the base station), sorted.
 
-        Precomputed — live membership is fixed at construction. Callers
-        must not mutate the result.
+        Cached; invalidated by :meth:`add_node`. Callers must not mutate
+        the result.
         """
+        if self._sensor_ids is None:
+            self._sensor_ids = sorted(nid for nid in self.nodes if nid != BS_ID)
         return self._sensor_ids
 
     def alive_sensor_ids(self) -> list[int]:
         """Ids of sensors whose runtimes are still up."""
         return [nid for nid in self.sensor_ids() if self.nodes[nid].alive]
+
+    # -- dynamic membership and topology (lifecycle runtime) -----------------
+
+    def add_node(self, position) -> NodeRuntime:
+        """Deploy one new node runtime at ``position`` mid-run.
+
+        Extends the underlying :class:`~repro.sim.network.Network`'s
+        adjacency (cell-grid disk query, symmetric), brings up a
+        :class:`NodeRuntime` registered on the live transport, and pushes
+        the grown neighbor lists to fabrics holding static copies. The
+        protocol-level join handshake is
+        :mod:`repro.protocol.addition`'s job, exactly as on the sim path.
+        """
+        sim_node = self._net.add_node(position)
+        runtime = NodeRuntime(self.transport, sim_node.id, sim_node.position)
+        self.nodes[sim_node.id] = runtime
+        self._sensor_ids = None
+        self._push_neighbors([sim_node.id, *self._net.adjacency(sim_node.id)])
+        return runtime
+
+    def update_topology(self, positions, adjacency) -> None:
+        """Apply a mobility step: moved positions + changed neighbor lists.
+
+        ``adjacency`` must contain symmetric updates (both endpoints of
+        every changed link), as produced by
+        :class:`repro.sim.mobility.MobileTopology` deltas. The change is
+        written through to the underlying network (the sim transport and
+        the hop gradient read it live) and to the transport's static
+        neighbor map (loopback/UDP).
+        """
+        self._net.update_topology(positions, adjacency)
+        for nid, position in positions.items():
+            self.nodes[nid].position = self._net.nodes[nid].position
+        self._push_neighbors(adjacency)
+
+    def _push_neighbors(self, node_ids) -> None:
+        """Sync the transport's static neighbor map for ``node_ids``."""
+        for nid in node_ids:
+            self.transport.set_neighbors(nid, self._net.adjacency(nid))
 
     def hop_gradient(self) -> dict[int, int]:
         """Hop count to the base station per node id (-1 unreachable)."""

@@ -253,6 +253,10 @@ class FaultInjectingTransport(Transport):
         self.bytes_sent += len(frame)
         self.inner.broadcast(sender_id, frame)
 
+    def set_neighbors(self, node_id: int, receivers: list[int]) -> None:
+        """Forward a topology change to the inner fabric's neighbor map."""
+        self.inner.set_neighbors(node_id, receivers)
+
     def run(self, until: float | None = None) -> float:
         """Arm the crash schedule (once), then drive the inner transport."""
         self._arm_crashes()

@@ -82,6 +82,15 @@ class LoopbackTransport(Transport):
         """Attach ``node`` as the receive endpoint for its id."""
         self._nodes[node.id] = node
 
+    def set_neighbors(self, node_id: int, receivers: list[int]) -> None:
+        """Replace ``node_id``'s static broadcast neighbor list.
+
+        The mobility/churn runtime pushes topology changes through this
+        hook; the canonical (sorted-id) receiver order is preserved so
+        delivery scheduling stays deterministic across runs.
+        """
+        self._neighbors[node_id] = list(receivers)
+
     @property
     def now(self) -> float:
         """The virtual protocol clock (advanced by executed events)."""

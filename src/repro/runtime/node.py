@@ -72,6 +72,7 @@ class NodeRuntime:
     def die(self) -> None:
         """Take the node offline (crash injection, battery death)."""
         self.alive = False
+        self._notify_app("on_offline")
 
     def offline(self) -> None:
         """Crash hook: take the node down, keeping its state for a restart.
@@ -79,13 +80,31 @@ class NodeRuntime:
         While offline the runtime neither transmits nor receives.
         Distinct from :meth:`die` only in intent — fault plans
         (:mod:`repro.runtime.faults`) pair it with :meth:`online` to
-        model a reboot rather than a permanent death.
+        model a reboot rather than a permanent death. The hosted app's
+        ``on_offline`` hook (if it defines one) runs after the flip, so
+        pending soft state — custody retransmit timers above all — is
+        cancelled instead of surviving the crash and firing into a
+        restarted (possibly key-refreshed) epoch.
         """
         self.alive = False
+        self._notify_app("on_offline")
 
     def online(self) -> None:
-        """Restart hook: bring a crashed node back up, state intact."""
+        """Restart hook: bring a crashed node back up, state intact.
+
+        "State intact" means keys and protocol state (a reboot, not a
+        reprovision); volatile queues were flushed by :meth:`offline`'s
+        ``on_offline`` hook. The app's ``on_online`` hook (if any) runs
+        after the flip.
+        """
         self.alive = True
+        self._notify_app("on_online")
+
+    def _notify_app(self, hook_name: str) -> None:
+        """Invoke the hosted app's lifecycle hook if it defines one."""
+        hook = getattr(self.app, hook_name, None)
+        if callable(hook):
+            hook()
 
     # -- transport delivery entry point -------------------------------------
 

@@ -98,6 +98,16 @@ class Transport(ABC):
     def broadcast(self, sender_id: int, frame: bytes) -> None:
         """One local broadcast from ``sender_id`` to its neighbors."""
 
+    def set_neighbors(self, node_id: int, receivers: list[int]) -> None:
+        """Replace ``node_id``'s broadcast neighbor set (topology change).
+
+        The mobility/churn runtime calls this whenever the unit-disk
+        graph changes mid-run (node movement, joins). The default is a
+        no-op — correct for backends that read adjacency live from the
+        network at transmit time (the sim transport); backends holding a
+        static neighbor copy (loopback, UDP) override it.
+        """
+
     # -- driving -----------------------------------------------------------
 
     @abstractmethod

@@ -132,6 +132,15 @@ class UdpTransport(Transport):
             raise RuntimeError("cannot register nodes while the loop is running")
         self._nodes[node.id] = node
 
+    def set_neighbors(self, node_id: int, receivers: list[int]) -> None:
+        """Replace ``node_id``'s static broadcast neighbor list.
+
+        Safe while the loop runs: the map is only read on the send path,
+        and a node registered after a topology change binds its socket
+        on the next :meth:`run` like any other late registration.
+        """
+        self._neighbors[node_id] = list(receivers)
+
     @property
     def now(self) -> float:
         """Protocol time: scaled wall clock while running, frozen between runs."""

@@ -143,6 +143,34 @@ class Network:
         self._sensor_ids = None
         return node
 
+    def update_topology(
+        self,
+        positions: dict[int, np.ndarray],
+        adjacency: dict[int, list[int]],
+    ) -> None:
+        """Apply mid-run node movement (mobility models, Sec. IV-E regime).
+
+        ``positions`` maps moved node ids to their new coordinates;
+        ``adjacency`` replaces the neighbor lists of every node whose
+        links changed (callers must pass symmetric updates — both
+        endpoints of every changed link — as
+        :class:`repro.sim.mobility.MobileTopology` deltas do). Positions
+        of original deployment nodes are written back into the
+        deployment array and its spatial index is invalidated, so
+        post-move joins (:meth:`add_node`) see the moved field.
+        """
+        deployment = self.deployment
+        for nid, position in positions.items():
+            moved = np.asarray(position, dtype=float)
+            self.nodes[nid].position = moved
+            index = nid - FIRST_NODE_ID
+            if nid != BS_ID and 0 <= index < deployment.n:
+                deployment.positions[index] = moved
+        for nid, neighbors in adjacency.items():
+            self._adjacency[nid] = list(neighbors)
+        if positions:
+            deployment.invalidate_index()
+
     def hop_gradient(self) -> dict[int, int]:
         """Hop count to the base station for every node id (-1 unreachable)."""
         hops = {BS_ID: 0}

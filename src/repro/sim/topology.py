@@ -142,6 +142,18 @@ class Deployment:
             self._grid = CellGrid(self.positions, self.radius)
         return self._grid
 
+    def invalidate_index(self) -> None:
+        """Drop the cached spatial index after in-place position updates.
+
+        Mobility models (:mod:`repro.sim.mobility`) mutate ``positions``
+        mid-run; the next :attr:`cell_grid` / :meth:`nodes_within` call
+        rebuilds the grid over the moved field. The build-time
+        ``neighbors`` snapshot is *not* recomputed — under motion the
+        live adjacency belongs to :class:`~repro.sim.mobility.MobileTopology`
+        (and :class:`~repro.sim.network.Network`), not to this snapshot.
+        """
+        self._grid = None
+
     @property
     def n(self) -> int:
         """Number of deployed nodes."""

@@ -2,9 +2,10 @@
 
 Three workload families drive a deployed protocol:
 
-* :class:`PeriodicReporting` / :class:`PoissonEvents`
-  (:mod:`repro.workloads.traffic`) — duty-cycle and event-driven traffic,
-  the shapes the experiments and chaos scenarios use;
+* :class:`PeriodicReporting` / :class:`PoissonEvents` /
+  :class:`ContinuousReporting` (:mod:`repro.workloads.traffic`) —
+  duty-cycle, event-driven and churn-aware traffic, the shapes the
+  experiments, chaos and lifecycle scenarios use;
 * :class:`SoakWorkload` (:mod:`repro.workloads.soak`) — constant offered
   load for a fixed duration, the engine of ``repro bench forwarding``;
 * :mod:`repro.workloads.streams` — composable per-node signal generators
@@ -26,11 +27,17 @@ from repro.workloads.streams import (
     default_node_stream,
     node_seed,
 )
-from repro.workloads.traffic import PeriodicReporting, PoissonEvents, SentRecord
+from repro.workloads.traffic import (
+    ContinuousReporting,
+    PeriodicReporting,
+    PoissonEvents,
+    SentRecord,
+)
 
 __all__ = [
     "CategoricalStream",
     "CompositeStream",
+    "ContinuousReporting",
     "PeriodicReporting",
     "PoissonEvents",
     "RandomWalkStream",

@@ -9,9 +9,13 @@ traffic. Two generators:
   monitoring configuration);
 * :class:`PoissonEvents` — physical events arrive as a Poisson process at
   random field positions; the ``k`` sensors nearest each event all report
-  it (the redundancy that motivates the paper's data-fusion argument).
+  it (the redundancy that motivates the paper's data-fusion argument);
+* :class:`ContinuousReporting` — like periodic reporting, but the source
+  set is re-queried every tick, so nodes that join mid-run start
+  reporting and departed nodes stop counting against delivery (the churn
+  scenarios' workload, :mod:`repro.runtime.lifecycle`).
 
-Both record what was sent so experiments can compute delivery ratios and
+All record what was sent so experiments can compute delivery ratios and
 latencies against the base station's log.
 """
 
@@ -78,6 +82,22 @@ class _WorkloadBase:
                 out.append(r.time - sent_at.pop(key))
         return out
 
+    def window_delivery_ratio(self, start_s: float, end_s: float) -> float:
+        """Delivery ratio over readings sent in ``[start_s, end_s)``.
+
+        The sliding-window health signal the lifecycle convergence
+        tracker samples: 1.0 when nothing was sent in the window (an
+        idle network is not a failing one).
+        """
+        window = [s for s in self.sent if start_s <= s.time < end_s]
+        if not window:
+            return 1.0
+        delivered = {
+            (r.source, bytes(r.data)) for r in self.deployed.bs_agent.delivered
+        }
+        got = sum(1 for s in window if (s.source, s.payload) in delivered)
+        return got / len(window)
+
 
 class PeriodicReporting(_WorkloadBase):
     """Fixed-period reporting from a set of sources, phase-staggered."""
@@ -118,6 +138,57 @@ class PeriodicReporting(_WorkloadBase):
     def duration_s(self) -> float:
         """Time span over which reports are scheduled."""
         return self.period_s * (self.rounds + 1)
+
+
+class ContinuousReporting(_WorkloadBase):
+    """Fixed-period reporting over a *live*, churning source set.
+
+    Unlike :class:`PeriodicReporting`, which freezes its sources at
+    start, this workload calls ``sources_fn()`` at every tick and
+    schedules one report per returned source with a small phase jitter.
+    Joined nodes start reporting as soon as the selector includes them;
+    departed or orphaned nodes silently drop out instead of tanking the
+    delivery ratio with sends the network was never asked to carry.
+    """
+
+    def __init__(
+        self,
+        deployed: "DeployedProtocol",
+        sources_fn: Callable[[], list[int]],
+        period_s: float,
+        duration_s: float,
+        payload_fn: Callable[[int, int], bytes] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if period_s <= 0 or duration_s <= 0:
+            raise ValueError("period_s and duration_s must be > 0")
+        super().__init__(deployed)
+        self._sources_fn = sources_fn
+        self.period_s = period_s
+        self.duration_s = duration_s
+        self._payload_fn = payload_fn or (
+            lambda src, k: encode_reading(k, float(src % 100), src)
+        )
+        self._rng = rng or np.random.default_rng(0)
+        self._round = 0
+        self._t0 = 0.0
+
+    def start(self) -> None:
+        """Begin ticking on the deployment's clock."""
+        self._t0 = self.deployed.now()
+        self.deployed.schedule(self.period_s, self._tick)
+
+    def _tick(self) -> None:
+        k = self._round
+        self._round += 1
+        for source in self._sources_fn():
+            offset = float(self._rng.uniform(0.0, 0.5 * self.period_s))
+            self.deployed.schedule(
+                offset,
+                lambda s=source, kk=k: self._send(s, kk, self._payload_fn(s, kk)),
+            )
+        if self.deployed.now() - self._t0 + self.period_s < self.duration_s:
+            self.deployed.schedule(self.period_s, self._tick)
 
 
 class PoissonEvents(_WorkloadBase):

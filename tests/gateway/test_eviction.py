@@ -1,0 +1,129 @@
+"""Eviction semantics: tombstones, suppression, reinstatement, federation.
+
+Lifecycle churn evicts departed and revoked nodes from the query plane.
+The contract: served state disappears immediately, readings at or
+before the tombstone are suppressed (while still advancing version
+vectors, so federation convergence is unharmed), a *strictly newer*
+reading reinstates the node (a re-join), and tombstones merge by
+max-time through the same pull exchange as state.
+"""
+
+from repro.gateway.federation import federate_once
+from repro.gateway.store import GatewayStateStore, StateEntry
+from repro.protocol.base_station import DeliveredReading
+
+KEY = b"shared-federation-key"
+
+
+def entry(node=1, payload=b"r", time=1.0, origin="gw0", seq=1):
+    return StateEntry(node, payload, time, origin, seq, True)
+
+
+def reading(source=1, data=b"r", time=1.0):
+    return DeliveredReading(time=time, source=source, data=data, was_encrypted=True)
+
+
+# -- local semantics ---------------------------------------------------------
+
+
+def test_evict_drops_served_state_immediately():
+    store = GatewayStateStore("a")
+    store.ingest(reading(source=7, time=3.0))
+    assert store.evict(7)
+    assert store.latest(7) is None
+    assert store.node_history(7) == []
+    assert store.node_ids() == []
+    assert store.digest()["evicted"] == 1
+    assert store.registry.counter("gateway.store.evicted") == 1
+
+
+def test_default_tombstone_covers_the_latest_reading():
+    store = GatewayStateStore("a")
+    store.ingest(reading(source=7, time=5.0))
+    store.evict(7)
+    assert store.evictions_snapshot() == {7: 5.0}
+    # Evicting a node the store never saw tombstones at time 0.
+    store.evict(8)
+    assert store.evictions_snapshot()[8] == 0.0
+
+
+def test_suppressed_readings_advance_the_vector_but_serve_nothing():
+    store = GatewayStateStore("a")
+    store.evict(7, time=10.0)
+    applied, stale = store.merge([entry(node=7, time=4.0, origin="x", seq=3)])
+    assert (applied, stale) == (0, 1)
+    assert store.latest(7) is None
+    assert store.vector_snapshot() == {"x": 3}  # peers stop re-offering it
+    assert store.registry.counter("gateway.store.suppressed") == 1
+
+
+def test_strictly_newer_reading_reinstates():
+    store = GatewayStateStore("a")
+    store.ingest(reading(source=7, time=5.0))
+    store.evict(7)
+    assert not store.ingest(reading(source=7, time=5.0))  # at tombstone: out
+    assert store.ingest(reading(source=7, time=5.5))  # newer: re-join
+    assert store.latest(7).time == 5.5
+    assert 7 not in store.evictions_snapshot()
+
+
+def test_re_eviction_with_older_or_equal_time_is_a_noop():
+    store = GatewayStateStore("a")
+    store.evict(7, time=5.0)
+    assert not store.evict(7, time=5.0)
+    assert not store.evict(7, time=4.0)
+    assert store.evictions_snapshot() == {7: 5.0}
+    assert store.registry.counter("gateway.store.evicted") == 1
+
+
+def test_apply_evictions_merges_by_max_time():
+    store = GatewayStateStore("a")
+    store.evict(7, time=5.0)
+    advanced = store.apply_evictions({7: 4.0, 8: 2.0})
+    assert advanced == 1  # 7's older tombstone is ignored
+    assert store.evictions_snapshot() == {7: 5.0, 8: 2.0}
+
+
+def test_apply_evictions_respects_newer_local_state():
+    # This store already saw the node report *after* the peer evicted
+    # it: from here the node re-joined, so the tombstone must not apply.
+    store = GatewayStateStore("a")
+    store.ingest(reading(source=7, time=9.0))
+    assert store.apply_evictions({7: 5.0}) == 0
+    assert store.latest(7).time == 9.0
+    assert 7 not in store.evictions_snapshot()
+
+
+# -- propagation through the pull exchange -----------------------------------
+
+
+def test_tombstones_propagate_through_federation():
+    a = GatewayStateStore("gwA")
+    b = GatewayStateStore("gwB")
+    a.ingest(reading(source=7, time=1.0))
+    a.ingest(reading(source=8, time=1.0))
+    federate_once(a, b, KEY)
+    assert b.node_ids() == [7, 8]
+
+    a.evict(7)
+    federate_once(a, b, KEY)
+    # The peer drops the node's served state and remembers the tombstone.
+    assert b.node_ids() == [8]
+    assert b.evictions_snapshot() == {7: 1.0}
+    assert a.node_ids() == [8]
+
+
+def test_rejoin_after_federated_eviction_converges():
+    a = GatewayStateStore("gwA")
+    b = GatewayStateStore("gwB")
+    a.ingest(reading(source=7, time=1.0))
+    federate_once(a, b, KEY)
+    a.evict(7)
+    federate_once(a, b, KEY)
+    # The node comes back behind gateway B with a newer reading.
+    b.ingest(reading(source=7, time=2.0, data=b"back"))
+    assert b.node_ids() == [7]
+    federate_once(a, b, KEY)
+    assert a.latest(7) is not None and a.latest(7).time == 2.0
+    assert 7 not in a.evictions_snapshot()
+    assert 7 not in b.evictions_snapshot()

@@ -214,6 +214,7 @@ def test_digest_and_stats_shapes():
         "vector": {"gw9": 1},
         "nodes": 1,
         "cursor": 1,
+        "evicted": 0,
     }
     assert store.stats()["origins"] == 1
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.workloads import PeriodicReporting, PoissonEvents
+from repro.workloads import ContinuousReporting, PeriodicReporting, PoissonEvents
 from tests.conftest import run_for, small_deployment
 
 
@@ -58,6 +58,43 @@ class TestPeriodicReporting:
             PeriodicReporting(loaded, [1], period_s=0, rounds=1)
         with pytest.raises(ValueError):
             PeriodicReporting(loaded, [1], period_s=1, rounds=0)
+
+
+class TestContinuousReporting:
+    def test_requeries_sources_every_tick(self, loaded):
+        pool = routable(loaded, 3)
+        active = list(pool[:2])
+        wl = ContinuousReporting(
+            loaded, lambda: list(active), period_s=5.0, duration_s=40.0
+        )
+        wl.start()
+        run_for(loaded, 12)
+        switch_at = loaded.now()
+        active.append(pool[2])  # a join starts reporting...
+        active.remove(pool[0])  # ...and a departure silently drops out
+        run_for(loaded, 40)
+        joined_sends = [s for s in wl.sent if s.source == pool[2]]
+        assert joined_sends and all(s.time > switch_at for s in joined_sends)
+        # Sends already scheduled at the switch land within one period.
+        late = [s for s in wl.sent if s.source == pool[0] and s.time > switch_at + 5.0]
+        assert late == []
+        assert wl.delivery_ratio() == 1.0
+
+    def test_window_delivery_ratio(self, loaded):
+        sources = routable(loaded, 5)
+        wl = ContinuousReporting(
+            loaded, lambda: sources, period_s=5.0, duration_s=20.0
+        )
+        wl.start()
+        run_for(loaded, 40)
+        assert wl.window_delivery_ratio(0.0, loaded.now()) == wl.delivery_ratio()
+        assert wl.window_delivery_ratio(1e6, 2e6) == 1.0  # idle, not failing
+
+    def test_validation(self, loaded):
+        with pytest.raises(ValueError):
+            ContinuousReporting(loaded, list, period_s=0.0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            ContinuousReporting(loaded, list, period_s=1.0, duration_s=0.0)
 
 
 class TestPoissonEvents:

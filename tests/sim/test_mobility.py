@@ -1,0 +1,214 @@
+"""Mobility models and the incremental unit-disk topology index.
+
+The load-bearing claim is *parity*: however far and however often nodes
+move — including jumps past the Verlet skin — `MobileTopology`'s
+incrementally maintained neighbor sets must equal a brute-force
+all-pairs recomputation over the same positions, and every `move()`
+must report the exact edge delta between the two states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.mobility import (
+    MOBILITY_MODELS,
+    GroupMotion,
+    MobileTopology,
+    TopologyDelta,
+    WaypointDrift,
+    build_mobility_model,
+)
+
+SIDE, RADIUS = 20.0, 4.0
+
+
+def random_positions(n, seed, side=SIDE):
+    rng = np.random.default_rng(seed)
+    return {nid: rng.uniform(0.0, side, size=2) for nid in range(n)}
+
+
+def brute_neighbors(positions, radius):
+    ids = sorted(positions)
+    r2 = radius * radius
+    return {
+        i: sorted(
+            j
+            for j in ids
+            if j != i and float(np.sum((positions[i] - positions[j]) ** 2)) <= r2
+        )
+        for i in ids
+    }
+
+
+def edges(neighbor_map):
+    return {
+        (min(a, b), max(a, b)) for a, nbs in neighbor_map.items() for b in nbs
+    }
+
+
+# -- incremental index parity -------------------------------------------------
+
+
+def test_initial_build_matches_brute_force():
+    positions = random_positions(60, seed=0)
+    topo = MobileTopology(positions, RADIUS)
+    assert topo.neighbor_map() == brute_neighbors(positions, RADIUS)
+    assert topo.edge_count() == len(edges(topo.neighbor_map()))
+
+
+@pytest.mark.parametrize("kind", MOBILITY_MODELS)
+def test_parity_holds_across_many_model_steps(kind):
+    positions = random_positions(50, seed=1)
+    topo = MobileTopology(positions, RADIUS)
+    model = build_mobility_model(
+        kind, positions, SIDE, np.random.default_rng(7),
+        speed_min=0.5, speed_max=2.0,
+    )
+    for _ in range(30):
+        before = edges(topo.neighbor_map())
+        delta = topo.move(model.step(1.0))
+        truth = brute_neighbors(topo.positions_snapshot(), RADIUS)
+        assert topo.neighbor_map() == truth
+        after = edges(truth)
+        # The reported delta is exact, not a superset.
+        assert set(delta.added) == after - before
+        assert set(delta.removed) == before - after
+
+
+def test_parity_survives_jumps_past_the_skin():
+    # A huge dt makes legs complete in one step: nodes teleport across
+    # the field, far beyond skin/2, forcing the immediate-rebuild path.
+    positions = random_positions(40, seed=2)
+    topo = MobileTopology(positions, RADIUS)
+    model = WaypointDrift(
+        positions, SIDE, np.random.default_rng(3), speed_min=5.0, speed_max=10.0
+    )
+    rebuilds = 0
+    for _ in range(10):
+        delta = topo.move(model.step(10.0))
+        rebuilds += delta.rebuilt
+        assert topo.neighbor_map() == brute_neighbors(
+            topo.positions_snapshot(), RADIUS
+        )
+    assert rebuilds > 0  # the skin threshold actually triggered
+
+
+def test_small_steps_mostly_avoid_rebuilds():
+    positions = random_positions(40, seed=4)
+    topo = MobileTopology(positions, RADIUS, skin=2.0)
+    model = WaypointDrift(
+        positions, SIDE, np.random.default_rng(5), speed_min=0.05, speed_max=0.1
+    )
+    # Displacement per step (<= 0.1) is far below skin/2 (= 1.0), so the
+    # first several steps are pure candidate-filtering, zero rebuilds.
+    for _ in range(5):
+        assert topo.move(model.step(1.0)).rebuilt == 0
+
+
+def test_add_and_remove_report_exact_links():
+    positions = random_positions(30, seed=6)
+    topo = MobileTopology(positions, RADIUS)
+    spot = positions[0] + np.array([0.5, 0.0])
+    delta = topo.add(99, spot)
+    assert 99 in topo
+    truth = brute_neighbors(topo.positions_snapshot(), RADIUS)
+    assert topo.neighbor_map() == truth
+    assert set(delta.added) == {(nid, 99) for nid in truth[99]}
+    assert delta.removed == ()
+
+    severed = topo.remove(99)
+    assert 99 not in topo
+    assert set(severed.removed) == set(delta.added)
+    assert topo.neighbor_map() == brute_neighbors(topo.positions_snapshot(), RADIUS)
+
+
+def test_mutation_errors():
+    topo = MobileTopology({1: np.zeros(2)}, RADIUS)
+    with pytest.raises(KeyError):
+        topo.move({2: np.zeros(2)})
+    with pytest.raises(ValueError):
+        topo.add(1, np.ones(2))
+    with pytest.raises(KeyError):
+        topo.remove(7)
+    with pytest.raises(ValueError):
+        MobileTopology({}, radius=0.0)
+
+
+def test_topology_delta_helpers():
+    delta = TopologyDelta(added=((1, 2),), removed=((2, 3), (4, 5)))
+    assert delta.changed
+    assert delta.touched_ids() == {1, 2, 3, 4, 5}
+    assert not TopologyDelta((), ()).changed
+
+
+# -- the models themselves ----------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", MOBILITY_MODELS)
+def test_models_are_seed_deterministic(kind):
+    positions = random_positions(25, seed=8)
+    a = build_mobility_model(kind, positions, SIDE, np.random.default_rng(11))
+    b = build_mobility_model(kind, positions, SIDE, np.random.default_rng(11))
+    c = build_mobility_model(kind, positions, SIDE, np.random.default_rng(12))
+    diverged = False
+    for _ in range(10):
+        pa, pb, pc = a.step(1.0), b.step(1.0), c.step(1.0)
+        for nid in pa:
+            assert np.array_equal(pa[nid], pb[nid])
+            diverged = diverged or not np.array_equal(pa[nid], pc[nid])
+    assert diverged  # a different seed draws a different trajectory
+
+
+@pytest.mark.parametrize("kind", MOBILITY_MODELS)
+def test_models_stay_inside_the_field(kind):
+    positions = random_positions(25, seed=9)
+    model = build_mobility_model(
+        kind, positions, SIDE, np.random.default_rng(13),
+        speed_min=2.0, speed_max=5.0,
+    )
+    for _ in range(50):
+        for pos in model.step(1.0).values():
+            assert 0.0 <= pos[0] <= SIDE and 0.0 <= pos[1] <= SIDE
+
+
+def test_waypoint_pause_freezes_arrivals():
+    start = {0: np.array([1.0, 1.0])}
+    model = WaypointDrift(
+        start, SIDE, np.random.default_rng(0),
+        speed_min=100.0, speed_max=100.0, pause_s=5.0,
+    )
+    arrived = model.step(1.0)[0]  # one step covers any leg: arrival
+    assert np.array_equal(model.step(1.0)[0], arrived)  # paused: no motion
+    assert np.array_equal(model.step(10.0)[0], arrived)  # pause drains this step
+    assert not np.array_equal(model.step(1.0)[0], arrived)  # next leg begins
+
+
+def test_group_members_stay_near_their_center():
+    positions = random_positions(24, seed=10)
+    model = GroupMotion(
+        positions, SIDE, np.random.default_rng(14), groups=3, max_offset=2.0
+    )
+    for _ in range(20):
+        moved = model.step(1.0)
+    ids = sorted(moved)
+    for g in range(3):
+        members = np.array([moved[nid] for nid in ids if nid % 3 == g])
+        center = members.mean(axis=0)
+        # Offsets are clamped to max_offset (modulo the field clip), so
+        # every member sits within a tight disk around the group mean.
+        assert float(np.linalg.norm(members - center, axis=1).max()) <= 4.0
+
+
+def test_model_validation():
+    positions = random_positions(4, seed=0)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        build_mobility_model("teleport", positions, SIDE, rng)
+    with pytest.raises(ValueError):
+        WaypointDrift(positions, SIDE, rng, speed_min=2.0, speed_max=1.0)
+    with pytest.raises(ValueError):
+        WaypointDrift(positions, SIDE, rng, pause_s=-1.0)
+    with pytest.raises(ValueError):
+        GroupMotion(positions, SIDE, rng, jitter=-0.1)
+    with pytest.raises(ValueError):
+        WaypointDrift(positions, SIDE, rng).step(0.0)

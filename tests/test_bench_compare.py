@@ -66,6 +66,22 @@ def _forwarding_payload(frames_rate: float, codec_rate: float = 80_000.0) -> dic
     }
 
 
+def _churn_payload(frames_rate: float, steps_rate: float = 90.0) -> dict:
+    return {
+        "benchmark": "churn",
+        "rows": [
+            {
+                "mobility": "waypoint",
+                "loss": 0.10,
+                "frames_per_s": frames_rate,
+                "steps_per_s": steps_rate,
+                "delivery_ratio": 0.92,
+                "max_reconverge_s": 2.0,
+            }
+        ],
+    }
+
+
 def test_identical_payloads_pass():
     assert bench_compare.compare(
         _crypto_payload(2e6), _crypto_payload(2e6), 0.5
@@ -103,6 +119,26 @@ def test_forwarding_payloads_understood():
     assert len(regressions) == 2
     assert any("frames_per_s" in r for r in regressions)
     assert mismatches == []
+
+
+def test_churn_payloads_understood():
+    base, fresh = _churn_payload(3_000.0), _churn_payload(2_000.0)  # -33%
+    assert bench_compare.compare(base, fresh, 0.5) == ([], [])
+    base, fresh = _churn_payload(3_000.0), _churn_payload(1_000.0)  # -67%
+    regressions, mismatches = bench_compare.compare(base, fresh, 0.5)
+    # frames_per_s crosses the floor; the behavioral columns
+    # (delivery_ratio, max_reconverge_s) are not rate-gated.
+    assert len(regressions) == 1
+    assert "frames_per_s" in regressions[0]
+    assert mismatches == []
+
+
+def test_churn_steps_rate_gated_independently():
+    base = _churn_payload(3_000.0, steps_rate=90.0)
+    fresh = _churn_payload(3_000.0, steps_rate=30.0)  # -67%
+    regressions, _ = bench_compare.compare(base, fresh, 0.5)
+    assert len(regressions) == 1
+    assert "steps_per_s" in regressions[0]
 
 
 def test_forwarding_codec_rows_gated_independently():
@@ -192,7 +228,12 @@ def test_regression_dominates_mismatch(tmp_path):
 def test_committed_baselines_are_loadable():
     """The committed BENCH jsons must stay parseable by the gate."""
     repo = Path(__file__).parent.parent
-    for name in ("BENCH_crypto.json", "BENCH_runtime.json", "BENCH_forwarding.json"):
+    for name in (
+        "BENCH_crypto.json",
+        "BENCH_runtime.json",
+        "BENCH_forwarding.json",
+        "BENCH_churn.json",
+    ):
         payload = json.loads((repo / name).read_text())
         rows = bench_compare._rows(payload)
         assert rows, f"{name} produced no comparable rows"
